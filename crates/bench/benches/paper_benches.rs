@@ -1,0 +1,142 @@
+//! Criterion benchmarks over the simulation harness.
+//!
+//! The paper's *numbers* come from the `src/bin/*` harnesses (they report
+//! simulated time); these benches track the *simulator's own* wall-clock
+//! cost so regressions in the engine, protocol paths, or the fault
+//! campaign show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ftgm_bench::{measure_bandwidth, measure_latency};
+use ftgm_core::FtSystem;
+use ftgm_faults::{run_one, RunConfig};
+use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
+use ftgm_gm::{World, WorldConfig};
+use ftgm_lanai::cpu::{Cpu, NullBus, RETURN_ADDR};
+use ftgm_lanai::isa::Reg;
+use ftgm_lanai::Sram;
+use ftgm_mcp::firmware::{layout, FirmwareImage};
+use ftgm_net::NodeId;
+use ftgm_sim::{Scheduler, SimDuration};
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("sim/scheduler_10k_events", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u64> = Scheduler::new();
+            for i in 0..10_000u64 {
+                s.schedule_in(SimDuration::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = s.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_firmware(c: &mut Criterion) {
+    let fw = FirmwareImage::build();
+    let mut sram = Sram::new(layout::SRAM_LEN);
+    sram.write_bytes(layout::CODE_BASE, fw.bytes());
+    let stage = FirmwareImage::slab_addr(0);
+    sram.write_bytes(stage, &vec![0xAB; 1024]);
+    use layout::sendrec as o;
+    let sr = layout::SENDREC;
+    for (off, v) in [
+        (o::STAGE_ADDR, stage),
+        (o::LEN, 1024),
+        (o::SEQ, 1),
+        (o::STREAM, 0x1234),
+        (o::MSG_LEN, 1024),
+        (o::CHUNK_OFF, 0),
+        (o::HDR_BUF, layout::PKT_BUF),
+        (o::STATUS_HOST, 0),
+    ] {
+        sram.write_u32(sr + off, v).unwrap();
+    }
+    c.bench_function("lanai/send_chunk_1kb", |b| {
+        b.iter_batched(
+            || sram.clone(),
+            |mut sram| {
+                let mut cpu = Cpu::new();
+                cpu.set_reg(Reg::LINK, RETURN_ADDR);
+                cpu.run(&mut sram, &mut NullBus, fw.entry_send(), 20_000)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    c.bench_function("world/pingpong_64B_x20", |b| {
+        b.iter(|| measure_latency(&WorldConfig::ftgm(), 64, 2, 20))
+    });
+}
+
+fn bench_bandwidth_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    g.bench_function("allsize_4kb_130ms", |b| {
+        b.iter(|| measure_bandwidth(&WorldConfig::gm(), 4096))
+    });
+    g.finish();
+}
+
+fn bench_fault_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("faults");
+    g.sample_size(10);
+    let config = RunConfig {
+        window: SimDuration::from_ms(200),
+        ..RunConfig::table1()
+    };
+    let mut seed = 0u64;
+    g.bench_function("one_injection_200ms", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_one(&config, seed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    g.bench_function("full_episode", |b| {
+        b.iter(|| {
+            let mut w = World::two_node(WorldConfig::ftgm());
+            let ft = FtSystem::install(&mut w);
+            let stats = Rc::new(RefCell::new(TrafficStats::default()));
+            w.spawn_app(
+                NodeId(1),
+                2,
+                Box::new(PatternReceiver::new(512, 16, stats.clone())),
+            );
+            w.spawn_app(
+                NodeId(0),
+                0,
+                Box::new(PatternSender::new(NodeId(1), 2, 256, 4, None, stats.clone())),
+            );
+            w.run_for(SimDuration::from_ms(5));
+            ft.inject_forced_hang(&mut w, NodeId(1));
+            w.run_for(SimDuration::from_secs(2));
+            ft.recoveries(NodeId(1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_firmware,
+    bench_pingpong,
+    bench_bandwidth_point,
+    bench_fault_run,
+    bench_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! **Figure 7** — bandwidth vs message length, GM and FTGM.
+//!
+//! Bidirectional maximum-rate streaming (the `gm_allsize` workload) across
+//! message lengths from 1 B to 1 MB, with extra points around the 4 KB
+//! fragmentation boundary. Prints CSV-ish rows: `len gm ftgm`.
+
+use ftgm_bench::{measure_bandwidth, sweep_lengths};
+use ftgm_gm::WorldConfig;
+
+fn main() {
+    println!("# Figure 7: sustained bidirectional data rate (MB/s) per direction");
+    println!("# paper asymptote: GM 92.4 MB/s, FTGM 92.0 MB/s");
+    println!("{:>9} {:>10} {:>10}", "len(B)", "GM", "FTGM");
+    let gm = WorldConfig::gm();
+    let ft = WorldConfig::ftgm();
+    for len in sweep_lengths() {
+        let a = measure_bandwidth(&gm, len);
+        let b = measure_bandwidth(&ft, len);
+        println!("{len:>9} {a:>10.2} {b:>10.2}");
+    }
+}

@@ -1,0 +1,20 @@
+//! **Figure 8** — half round-trip latency vs message length, GM and FTGM.
+//!
+//! The repetitive ping-pong measurement; one-way latency is half the mean
+//! round-trip. Prints rows: `len gm ftgm` in µs.
+
+use ftgm_bench::{measure_latency, sweep_lengths};
+use ftgm_gm::WorldConfig;
+
+fn main() {
+    println!("# Figure 8: half round-trip latency (us)");
+    println!("# paper small-message means: GM 11.5us, FTGM 13.0us");
+    println!("{:>9} {:>10} {:>10}", "len(B)", "GM", "FTGM");
+    let gm = WorldConfig::gm();
+    let ft = WorldConfig::ftgm();
+    for len in sweep_lengths() {
+        let a = measure_latency(&gm, len, 5, 40).as_micros_f64();
+        let b = measure_latency(&ft, len, 5, 40).as_micros_f64();
+        println!("{len:>9} {a:>10.2} {b:>10.2}");
+    }
+}

@@ -1,0 +1,26 @@
+//! **Table 2** — comparison of performance metrics between GM and FTGM.
+//!
+//! Reproduces the bandwidth, latency, host-utilization and LANai-
+//! utilization rows for both protocol variants.
+
+use ftgm_bench::measure_table2;
+use ftgm_gm::WorldConfig;
+
+fn main() {
+    eprintln!("Table 2: measuring GM and FTGM…");
+    let gm = measure_table2(&WorldConfig::gm());
+    let ft = measure_table2(&WorldConfig::ftgm());
+    println!("\nTable 2. Comparison of various performance metrics between GM and FTGM\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>14}",
+        "Performance Metric", "GM", "FTGM", "paper GM", "paper FTGM"
+    );
+    let row = |label: &str, a: f64, b: f64, pa: f64, pb: f64| {
+        println!("{label:<22} {a:>12.2} {b:>12.2} {pa:>14.2} {pb:>14.2}");
+    };
+    row("Bandwidth (MB/s)", gm.bandwidth_mb_s, ft.bandwidth_mb_s, 92.4, 92.0);
+    row("Latency (us)", gm.latency_us, ft.latency_us, 11.5, 13.0);
+    row("Host util. send (us)", gm.host_send_us, ft.host_send_us, 0.30, 0.55);
+    row("Host util. recv (us)", gm.host_recv_us, ft.host_recv_us, 0.75, 1.15);
+    row("LANai util. (us)", gm.lanai_us, ft.lanai_us, 6.0, 6.8);
+}

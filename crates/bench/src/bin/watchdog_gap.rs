@@ -1,0 +1,25 @@
+//! **§4.2** — the `L_timer()` invocation-gap measurement that sizes the
+//! watchdog: "the maximum time between these timer routine invocations
+//! during normal operation is around 800us" (IT1 is armed just above it).
+
+use ftgm_bench::measure_ltimer_gaps;
+
+fn main() {
+    let (max_idle, mean_idle) = measure_ltimer_gaps(false);
+    let (max_load, mean_load) = measure_ltimer_gaps(true);
+    println!("# §4.2: L_timer() inter-invocation gaps (us)\n");
+    println!("{:<18} {:>10} {:>10}", "condition", "max", "mean");
+    println!(
+        "{:<18} {:>10.1} {:>10.1}",
+        "idle",
+        max_idle.as_micros_f64(),
+        mean_idle.as_micros_f64()
+    );
+    println!(
+        "{:<18} {:>10.1} {:>10.1}",
+        "loaded (allsize)",
+        max_load.as_micros_f64(),
+        mean_load.as_micros_f64()
+    );
+    println!("\npaper: max ~800us; IT1 armed slightly above (we use 850us)");
+}

@@ -1,0 +1,205 @@
+//! The **Fault Tolerance Daemon** (FTD) and the driver-side FATAL path.
+//!
+//! §4.3: the IT1 watchdog expiry raises a FATAL interrupt. Recovery needs
+//! `sleep()`/`malloc()`-class work an interrupt handler cannot do, so the
+//! handler merely *wakes a daemon*. The FTD then:
+//!
+//! 1. verifies the hang with the **magic-word probe** (writes a magic value
+//!    the live MCP's `L_timer()` would clear; if it survives the wait, the
+//!    interface is hung — a false alarm re-arms the watchdog and goes back
+//!    to sleep),
+//! 2. disables interrupts, unmaps I/O, **resets** the card,
+//! 3. clears SRAM and **reloads the MCP** (the nominal-image EBUS write —
+//!    the ~500 ms that dominates Table 3's FTD row),
+//! 4. restarts the DMA engine and re-enables interrupts,
+//! 5. re-registers the host-resident **page hash table**,
+//! 6. restores the **mapping and routing tables**,
+//! 7. posts a **`FAULT_DETECTED`** event into every open port's receive
+//!    queue, then rewinds and stands guard for the next fault.
+//!
+//! Every step is traced, so Table 3 and Figure 9 fall out of the trace.
+
+use ftgm_gm::World;
+use ftgm_host::Pid;
+use ftgm_mcp::layout;
+use ftgm_net::NodeId;
+use ftgm_sim::{SimDuration, SimTime};
+
+/// The magic value the FTD writes for its liveness probe.
+pub const MAGIC_VALUE: u32 = 0x0F7D_600D;
+
+/// Per-node FTD bookkeeping (lives alongside the world).
+#[derive(Clone, Debug)]
+pub struct FtdState {
+    /// The daemon's process id on its host.
+    pub pid: Pid,
+    /// `true` while a recovery is in progress (ignore repeat FATALs).
+    pub busy: bool,
+    /// Completed recoveries.
+    pub recoveries: u64,
+    /// FATALs that turned out to be false alarms.
+    pub false_alarms: u64,
+    /// When the current fault was detected (FTD woken).
+    pub detected_at: Option<SimTime>,
+    /// Recovery generation: bumped at every confirmed hang. A per-port
+    /// handler from an older generation must not touch state a newer
+    /// recovery owns.
+    pub epoch: u64,
+}
+
+impl FtdState {
+    /// Creates the state for a daemon running as `pid`.
+    pub fn new(pid: Pid) -> FtdState {
+        FtdState {
+            pid,
+            busy: false,
+            recoveries: 0,
+            false_alarms: 0,
+            detected_at: None,
+            epoch: 0,
+        }
+    }
+}
+
+/// Scheduling latency between the driver's `wake_up` and the daemon
+/// actually running (a context switch).
+pub const FTD_WAKE_LATENCY: SimDuration = SimDuration::from_us(30);
+
+/// Driver FATAL-interrupt handler: wake the FTD (§4.3). Called from the
+/// world's IRQ path via the installed hook.
+pub fn on_fatal_irq(world: &mut World, node: NodeId, ftd: &mut FtdState) {
+    if ftd.busy {
+        return;
+    }
+    ftd.busy = true;
+    let n = node.0 as usize;
+    world.nodes[n].host.procs.wake(ftd.pid);
+    world
+        .trace
+        .record(world.now(), "ftd", format!("{node}: driver wakes FTD"));
+}
+
+/// The FTD main routine, resumed after the wake latency. Returns the
+/// sequence of timed steps as `(delay-so-far, action)` closures scheduled
+/// onto the world.
+///
+/// The caller (the `install` glue in `lib.rs`) owns the [`FtdState`]
+/// because hooks cannot borrow it mutably across steps; state transitions
+/// are applied through the returned events.
+pub fn run_ftd_probe(world: &mut World, node: NodeId) -> SimDuration {
+    let n = node.0 as usize;
+    let now = world.now();
+    // Magic-word probe: write the magic; a live MCP clears it in L_timer().
+    world.nodes[n]
+        .mcp
+        .chip
+        .sram
+        .write_u32(layout::MAGIC_WORD, MAGIC_VALUE)
+        .expect("magic word address is valid");
+    world.trace.record(
+        now,
+        "ftd",
+        format!("{node}: magic-word probe written"),
+    );
+    world.nodes[n].host.driver.params().magic_probe_wait
+}
+
+/// Checks the probe outcome: `true` if the interface is really hung.
+pub fn probe_confirms_hang(world: &World, node: NodeId) -> bool {
+    let n = node.0 as usize;
+    world.nodes[n]
+        .mcp
+        .chip
+        .sram
+        .read_u32(layout::MAGIC_WORD)
+        .expect("magic word address is valid")
+        == MAGIC_VALUE
+}
+
+/// The timed phases of the FTD's reset-and-restore sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FtdPhase {
+    /// Disable interrupts, unmap I/O, reset the card.
+    Reset,
+    /// Clear all of SRAM.
+    ClearSram,
+    /// PIO-write the MCP image over the EBUS.
+    ReloadMcp,
+    /// Restart the DMA engine, re-enable interrupts.
+    RestartEngines,
+    /// Re-register the host page hash table with the MCP.
+    RestorePageTable,
+    /// Restore mapping/route tables into SRAM.
+    RestoreRoutes,
+}
+
+impl FtdPhase {
+    /// All phases in execution order.
+    pub const ORDER: [FtdPhase; 6] = [
+        FtdPhase::Reset,
+        FtdPhase::ClearSram,
+        FtdPhase::ReloadMcp,
+        FtdPhase::RestartEngines,
+        FtdPhase::RestorePageTable,
+        FtdPhase::RestoreRoutes,
+    ];
+
+    /// Human-readable label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            FtdPhase::Reset => "card reset",
+            FtdPhase::ClearSram => "clear SRAM",
+            FtdPhase::ReloadMcp => "reload MCP",
+            FtdPhase::RestartEngines => "restart DMA engines + IRQs",
+            FtdPhase::RestorePageTable => "restore page hash table",
+            FtdPhase::RestoreRoutes => "restore mapping/route tables",
+        }
+    }
+
+    /// The phase's duration on `world`/`node`.
+    pub fn duration(self, world: &World, node: NodeId) -> SimDuration {
+        let d = &world.nodes[node.0 as usize].host.driver;
+        let p = *d.params();
+        match self {
+            FtdPhase::Reset => p.reset_settle,
+            FtdPhase::ClearSram => p.sram_clear,
+            FtdPhase::ReloadMcp => d.mcp_load_time(),
+            FtdPhase::RestartEngines => SimDuration::from_us(200),
+            FtdPhase::RestorePageTable => p.page_table_restore,
+            FtdPhase::RestoreRoutes => p.route_table_restore,
+        }
+    }
+
+    /// Executes the phase's state change (timing handled by the caller).
+    pub fn apply(self, world: &mut World, node: NodeId) {
+        let n = node.0 as usize;
+        match self {
+            FtdPhase::Reset => {
+                world.nodes[n].host.driver.set_interrupts_enabled(false);
+                world.abort_host_dma(node);
+                // The chip reset itself happens with the reload below; the
+                // settle time is what this phase charges.
+            }
+            FtdPhase::ClearSram => {
+                // Folded into reset_and_reload (clear + reload must be
+                // atomic against the simulation's view).
+            }
+            FtdPhase::ReloadMcp => {
+                let image = world.nodes[n].host.driver.mcp_image().to_vec();
+                world.nodes[n].mcp.reset_and_reload(&image);
+            }
+            FtdPhase::RestartEngines => {
+                world.nodes[n].host.driver.set_interrupts_enabled(true);
+            }
+            FtdPhase::RestorePageTable => {
+                // The table lives in host memory ([`ftgm_host::PageHashTable`]);
+                // the MCP caches entries on demand, so re-registering is a
+                // notification, not a data copy.
+            }
+            FtdPhase::RestoreRoutes => {
+                let routes = world.nodes[n].route_backup.clone();
+                world.nodes[n].mcp.set_routes(routes);
+            }
+        }
+    }
+}

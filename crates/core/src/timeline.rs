@@ -1,0 +1,119 @@
+//! Recovery-timeline extraction (Figure 9 / Table 3).
+//!
+//! The world's [`ftgm_sim::Trace`] records every recovery milestone; this
+//! module folds a trace into the paper's three components:
+//!
+//! * **fault detection time** — fault activation → FTD woken (bounded by
+//!   the watchdog interval; the paper reports ~800 µs),
+//! * **FTD recovery time** — FTD woken → `FAULT_DETECTED` posted (probe,
+//!   reset, SRAM clear, MCP reload, table restores; ~765,000 µs),
+//! * **per-process recovery time** — `FAULT_DETECTED` delivered → port
+//!   reopened (~900,000 µs).
+
+use ftgm_sim::{SimDuration, SimTime, Trace};
+
+/// The recovery-time breakdown of one fault-recovery episode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// When the fault was injected/activated.
+    pub fault_at: SimTime,
+    /// When the driver woke the FTD (detection complete).
+    pub ftd_woken_at: SimTime,
+    /// When the FTD posted the last `FAULT_DETECTED` event.
+    pub ftd_done_at: SimTime,
+    /// When the last port finished its handler and reopened.
+    pub ports_reopened_at: SimTime,
+}
+
+impl RecoveryReport {
+    /// Extracts the most recent complete episode from a trace.
+    ///
+    /// Returns `None` if any milestone is missing (e.g. the fault was not
+    /// detected).
+    pub fn from_trace(trace: &Trace) -> Option<RecoveryReport> {
+        let find_last = |pred: &dyn Fn(&str) -> bool| -> Option<SimTime> {
+            trace
+                .events()
+                .iter()
+                .rev()
+                .find(|e| pred(&e.message))
+                .map(|e| e.at)
+        };
+        let fault_at = find_last(&|m| m.contains("fault injected") || m.contains("forced hang"))?;
+        let ftd_woken_at = find_last(&|m| m.contains("driver wakes FTD"))?;
+        let ftd_done_at = find_last(&|m| m.contains("FAULT_DETECTED posted"))?;
+        let ports_reopened_at = find_last(&|m| m.contains("port reopened"))?;
+        Some(RecoveryReport {
+            fault_at,
+            ftd_woken_at,
+            ftd_done_at,
+            ports_reopened_at,
+        })
+    }
+
+    /// Fault detection time (Table 3 row 1).
+    pub fn detection(&self) -> SimDuration {
+        self.ftd_woken_at.saturating_since(self.fault_at)
+    }
+
+    /// FTD recovery time (Table 3 row 2).
+    pub fn ftd_time(&self) -> SimDuration {
+        self.ftd_done_at.saturating_since(self.ftd_woken_at)
+    }
+
+    /// Per-process recovery time (Table 3 row 3).
+    pub fn per_process(&self) -> SimDuration {
+        self.ports_reopened_at.saturating_since(self.ftd_done_at)
+    }
+
+    /// Complete recovery time, fault to full service.
+    pub fn total(&self) -> SimDuration {
+        self.ports_reopened_at.saturating_since(self.fault_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_us(us)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::enabled();
+        tr.record(t(0), "fault", "node1: fault injected (bit 100)");
+        tr.record(t(800), "ftd", "node1: driver wakes FTD");
+        tr.record(t(765_800), "ftd", "node1: FAULT_DETECTED posted port 2");
+        tr.record(t(1_665_800), "recov", "node1 port 2: port reopened (…)");
+        tr
+    }
+
+    #[test]
+    fn report_extracts_components() {
+        let r = RecoveryReport::from_trace(&sample_trace()).expect("complete episode");
+        assert_eq!(r.detection(), SimDuration::from_us(800));
+        assert_eq!(r.ftd_time(), SimDuration::from_us(765_000));
+        assert_eq!(r.per_process(), SimDuration::from_us(900_000));
+        assert_eq!(r.total(), SimDuration::from_us(1_665_800));
+    }
+
+    #[test]
+    fn incomplete_trace_yields_none() {
+        let mut tr = Trace::enabled();
+        tr.record(t(0), "fault", "node1: fault injected (bit 5)");
+        assert!(RecoveryReport::from_trace(&tr).is_none());
+    }
+
+    #[test]
+    fn uses_most_recent_episode() {
+        let mut tr = sample_trace();
+        tr.record(t(5_000_000), "fault", "node1: fault injected (bit 7)");
+        tr.record(t(5_000_800), "ftd", "node1: driver wakes FTD");
+        tr.record(t(5_765_800), "ftd", "node1: FAULT_DETECTED posted port 2");
+        tr.record(t(6_665_800), "recov", "node1 port 2: port reopened (…)");
+        let r = RecoveryReport::from_trace(&tr).unwrap();
+        assert_eq!(r.fault_at, t(5_000_000));
+        assert_eq!(r.detection(), SimDuration::from_us(800));
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Fault injection for the FTGM reproduction.
+//!
+//! Reproduces the paper's §2 experiments: single-bit flips at uniformly
+//! random positions in the `send_chunk` section of the MCP code while the
+//! interface handles validated traffic, classified into Table 1's seven
+//! failure categories — and the §5.2 effectiveness experiment, where the
+//! same campaign runs under FTGM with the watchdog + FTD installed and
+//! every hang must be detected and recovered transparently.
+//!
+//! * [`classify`] — the outcome taxonomy and classification rules,
+//! * [`inject`] — one reproducible run (`seed` → bit choice → world),
+//! * [`campaign`] — parallel N-run campaigns with deterministic
+//!   aggregation and Table 1 rendering.
+
+pub mod campaign;
+pub mod classify;
+pub mod forensics;
+pub mod inject;
+
+pub use campaign::{run_campaign, CampaignResult};
+pub use forensics::{analyze, FieldMatrix, InstrSensitivity};
+pub use classify::{classify as classify_outcome, Observables, Outcome};
+pub use inject::{run_one, InjectionTarget, RunConfig, RunResult};

@@ -1,0 +1,151 @@
+//! Host-CPU time accounting.
+//!
+//! Table 2 of the paper reports *host utilization*: the CPU time the host
+//! burns to send (0.30 µs GM / 0.55 µs FTGM) and receive (0.75 µs /
+//! 1.15 µs) one message. The GM library model charges each API call's cost
+//! here, broken down by category, so the benchmark can report both totals
+//! and the FTGM delta (the token-backup housekeeping the paper highlights).
+
+use std::collections::BTreeMap;
+
+use ftgm_sim::SimDuration;
+
+/// What a slice of host CPU time was spent on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CpuCost {
+    /// `gm_send_with_callback` baseline work.
+    SendCall,
+    /// Receive-path event handling baseline work.
+    RecvEvent,
+    /// FTGM: copying the send token into the backup queue.
+    SendTokenBackup,
+    /// FTGM: receive-side backup bookkeeping (token + ACK hash tables).
+    RecvTokenBackup,
+    /// `gm_provide_receive_buffer` work.
+    ProvideBuffer,
+    /// Application callback dispatch.
+    Callback,
+    /// Per-port recovery handler work (FAULT_DETECTED path).
+    Recovery,
+}
+
+impl CpuCost {
+    /// All categories, for reporting.
+    pub const ALL: [CpuCost; 7] = [
+        CpuCost::SendCall,
+        CpuCost::RecvEvent,
+        CpuCost::SendTokenBackup,
+        CpuCost::RecvTokenBackup,
+        CpuCost::ProvideBuffer,
+        CpuCost::Callback,
+        CpuCost::Recovery,
+    ];
+}
+
+/// Accumulates host-CPU time by category.
+///
+/// # Example
+///
+/// ```
+/// use ftgm_host::{CpuAccounting, CpuCost};
+/// use ftgm_sim::SimDuration;
+///
+/// let mut acc = CpuAccounting::new();
+/// acc.charge(CpuCost::SendCall, SimDuration::from_nanos(300));
+/// acc.charge(CpuCost::SendCall, SimDuration::from_nanos(300));
+/// assert_eq!(acc.total_for(CpuCost::SendCall), SimDuration::from_nanos(600));
+/// assert_eq!(acc.count_for(CpuCost::SendCall), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CpuAccounting {
+    totals: BTreeMap<CpuCost, (SimDuration, u64)>,
+}
+
+impl CpuAccounting {
+    /// Creates an empty accumulator.
+    pub fn new() -> CpuAccounting {
+        CpuAccounting::default()
+    }
+
+    /// Charges `dur` of CPU time to `category`.
+    pub fn charge(&mut self, category: CpuCost, dur: SimDuration) {
+        let e = self.totals.entry(category).or_insert((SimDuration::ZERO, 0));
+        e.0 += dur;
+        e.1 += 1;
+    }
+
+    /// Total time charged to a category.
+    pub fn total_for(&self, category: CpuCost) -> SimDuration {
+        self.totals
+            .get(&category)
+            .map(|e| e.0)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Number of charges to a category.
+    pub fn count_for(&self, category: CpuCost) -> u64 {
+        self.totals.get(&category).map(|e| e.1).unwrap_or(0)
+    }
+
+    /// Mean cost per charge in a category, if any were recorded.
+    pub fn mean_for(&self, category: CpuCost) -> Option<SimDuration> {
+        let (total, n) = self.totals.get(&category)?;
+        if *n == 0 {
+            return None;
+        }
+        Some(*total / *n)
+    }
+
+    /// Grand total across all categories.
+    pub fn grand_total(&self) -> SimDuration {
+        self.totals
+            .values()
+            .fold(SimDuration::ZERO, |acc, (d, _)| acc + *d)
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.totals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_time_and_count() {
+        let mut a = CpuAccounting::new();
+        a.charge(CpuCost::RecvEvent, SimDuration::from_nanos(750));
+        a.charge(CpuCost::RecvEvent, SimDuration::from_nanos(750));
+        a.charge(CpuCost::SendCall, SimDuration::from_nanos(300));
+        assert_eq!(a.total_for(CpuCost::RecvEvent), SimDuration::from_nanos(1_500));
+        assert_eq!(a.count_for(CpuCost::RecvEvent), 2);
+        assert_eq!(a.count_for(CpuCost::Callback), 0);
+    }
+
+    #[test]
+    fn mean_divides() {
+        let mut a = CpuAccounting::new();
+        a.charge(CpuCost::SendCall, SimDuration::from_nanos(100));
+        a.charge(CpuCost::SendCall, SimDuration::from_nanos(200));
+        assert_eq!(a.mean_for(CpuCost::SendCall), Some(SimDuration::from_nanos(150)));
+        assert_eq!(a.mean_for(CpuCost::Recovery), None);
+    }
+
+    #[test]
+    fn grand_total_sums_categories() {
+        let mut a = CpuAccounting::new();
+        a.charge(CpuCost::SendCall, SimDuration::from_nanos(1));
+        a.charge(CpuCost::RecvEvent, SimDuration::from_nanos(2));
+        assert_eq!(a.grand_total(), SimDuration::from_nanos(3));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut a = CpuAccounting::new();
+        a.charge(CpuCost::SendCall, SimDuration::from_nanos(1));
+        a.reset();
+        assert_eq!(a.grand_total(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,158 @@
+//! The GM device driver's mechanical duties and their costs.
+//!
+//! The driver owns the slow, privileged operations of the recovery path —
+//! the ones Table 3 ascribes to the FTD: resetting the interface, clearing
+//! SRAM, reloading the MCP over the EBUS (≈500 ms, the single largest
+//! recovery component), and re-registering host-resident tables. The
+//! *policy* of recovery lives in `ftgm-core`; this module provides the
+//! durations and the host-side copies of the state being restored.
+//!
+//! A note on the MCP image: the real GM 1.5.1 control program is a
+//! megabyte-class image PIO-written over the EBUS, which is why reloading
+//! dominates recovery. Our interpreted firmware is a few hundred bytes, so
+//! the driver charges the *nominal* image size for timing while loading the
+//! actual bytes — same code path, faithful cost.
+
+use ftgm_sim::SimDuration;
+
+/// Driver cost parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DriverParams {
+    /// Nominal MCP image size (the real GM MCP, not our small routine).
+    pub mcp_image_nominal: u32,
+    /// EBUS programmed-I/O write rate, bytes/second.
+    pub ebus_pio_rate: u64,
+    /// Card reset pulse + PLL/DMA re-init settle time.
+    pub reset_settle: SimDuration,
+    /// Clearing all of SRAM before reload.
+    pub sram_clear: SimDuration,
+    /// Re-registering the page hash table with the MCP.
+    pub page_table_restore: SimDuration,
+    /// Restoring mapping/route tables into SRAM.
+    pub route_table_restore: SimDuration,
+    /// Posting one FAULT_DETECTED event into an open port's receive queue.
+    pub post_fault_event: SimDuration,
+    /// Interrupt delivery latency (IRQ line → handler running).
+    pub irq_latency: SimDuration,
+    /// Magic-word liveness probe: write + wait for the MCP to clear it.
+    pub magic_probe_wait: SimDuration,
+}
+
+impl Default for DriverParams {
+    fn default() -> Self {
+        DriverParams {
+            // 1 MB nominal image over a 2 MB/s EBUS PIO path ≈ 500 ms,
+            // matching the paper's "~500,000us spent reloading the MCP".
+            mcp_image_nominal: 1 << 20,
+            ebus_pio_rate: 2_097_152,
+            reset_settle: SimDuration::from_ms(25),
+            sram_clear: SimDuration::from_ms(40),
+            page_table_restore: SimDuration::from_ms(90),
+            route_table_restore: SimDuration::from_ms(100),
+            post_fault_event: SimDuration::from_us(40),
+            irq_latency: SimDuration::from_us(13),
+            magic_probe_wait: SimDuration::from_ms(5),
+        }
+    }
+}
+
+/// The device driver: cost model plus host-side state copies.
+#[derive(Clone, Debug)]
+pub struct Driver {
+    params: DriverParams,
+    /// The host's copy of the firmware image (reloaded on recovery).
+    mcp_image: Vec<u8>,
+    /// Entry offset of `send_chunk` within the image.
+    send_chunk_entry: u32,
+    interrupts_enabled: bool,
+}
+
+impl Driver {
+    /// Creates a driver with no image loaded yet.
+    pub fn new(params: DriverParams) -> Driver {
+        Driver {
+            params,
+            mcp_image: Vec::new(),
+            send_chunk_entry: 0,
+            interrupts_enabled: true,
+        }
+    }
+
+    /// The cost parameters.
+    pub fn params(&self) -> &DriverParams {
+        &self.params
+    }
+
+    /// Stores the pristine firmware image (done at `gm_init` time) so a
+    /// recovery can reload it.
+    pub fn stash_mcp_image(&mut self, image: Vec<u8>, send_chunk_entry: u32) {
+        self.mcp_image = image;
+        self.send_chunk_entry = send_chunk_entry;
+    }
+
+    /// The pristine firmware image bytes.
+    pub fn mcp_image(&self) -> &[u8] {
+        &self.mcp_image
+    }
+
+    /// Entry offset of `send_chunk` within the stashed image.
+    pub fn send_chunk_entry(&self) -> u32 {
+        self.send_chunk_entry
+    }
+
+    /// Time to PIO-write the (nominal) MCP image over the EBUS.
+    pub fn mcp_load_time(&self) -> SimDuration {
+        SimDuration::for_bytes(
+            self.params.mcp_image_nominal as u64,
+            self.params.ebus_pio_rate,
+        )
+    }
+
+    /// Whether the driver currently forwards card interrupts.
+    pub fn interrupts_enabled(&self) -> bool {
+        self.interrupts_enabled
+    }
+
+    /// Masks or unmasks card interrupts at the driver level (the FTD masks
+    /// them around the reset window).
+    pub fn set_interrupts_enabled(&mut self, enabled: bool) {
+        self.interrupts_enabled = enabled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mcp_load_is_half_a_second() {
+        let d = Driver::new(DriverParams::default());
+        let t = d.mcp_load_time();
+        let secs = t.as_secs_f64();
+        assert!((0.45..0.55).contains(&secs), "load time {secs}s");
+    }
+
+    #[test]
+    fn stash_keeps_image_and_entry() {
+        let mut d = Driver::new(DriverParams::default());
+        d.stash_mcp_image(vec![1, 2, 3, 4], 8);
+        assert_eq!(d.mcp_image(), &[1, 2, 3, 4]);
+        assert_eq!(d.send_chunk_entry(), 8);
+    }
+
+    #[test]
+    fn interrupt_gate_toggles() {
+        let mut d = Driver::new(DriverParams::default());
+        assert!(d.interrupts_enabled());
+        d.set_interrupts_enabled(false);
+        assert!(!d.interrupts_enabled());
+    }
+
+    #[test]
+    fn irq_latency_is_small_vs_watchdog() {
+        // The paper ignores interrupt latency (~13us) against the 800us
+        // watchdog period; keep the model consistent with that.
+        let p = DriverParams::default();
+        assert!(p.irq_latency.as_micros_f64() < 50.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! A minimal process table.
+//!
+//! The experiments involve two kinds of host processes: GM applications
+//! (which spin polling their receive queues) and the **fault-tolerance
+//! daemon** (FTD), which sleeps until the driver wakes it on a FATAL
+//! interrupt. The paper is explicit about why the FTD exists at all:
+//! recovery needs `sleep()`/`malloc()`-class work that an interrupt handler
+//! cannot do, so the handler merely wakes a daemon.
+
+use std::fmt;
+
+/// A process identifier, unique per host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Scheduling state of a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessState {
+    /// Runnable (applications busy-polling their receive queue).
+    Running,
+    /// Blocked in the kernel waiting for a wake-up (the FTD's idle state).
+    Sleeping,
+    /// Exited.
+    Dead,
+}
+
+#[derive(Clone, Debug)]
+struct ProcEntry {
+    pid: Pid,
+    state: ProcessState,
+    name: String,
+}
+
+/// The per-host process table.
+///
+/// # Example
+///
+/// ```
+/// use ftgm_host::{ProcessState, ProcessTable};
+///
+/// let mut t = ProcessTable::new();
+/// let ftd = t.spawn("ftd");
+/// t.sleep(ftd);
+/// assert_eq!(t.state(ftd), Some(ProcessState::Sleeping));
+/// assert!(t.wake(ftd));
+/// assert_eq!(t.state(ftd), Some(ProcessState::Running));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProcessTable {
+    procs: Vec<ProcEntry>,
+    next_pid: u32,
+}
+
+impl ProcessTable {
+    /// Creates an empty table.
+    pub fn new() -> ProcessTable {
+        ProcessTable::default()
+    }
+
+    /// Spawns a process in the running state.
+    pub fn spawn(&mut self, name: impl Into<String>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.push(ProcEntry {
+            pid,
+            state: ProcessState::Running,
+            name: name.into(),
+        });
+        pid
+    }
+
+    /// The state of `pid`, if it exists.
+    pub fn state(&self, pid: Pid) -> Option<ProcessState> {
+        self.entry(pid).map(|e| e.state)
+    }
+
+    /// The name of `pid`, if it exists.
+    pub fn name(&self, pid: Pid) -> Option<&str> {
+        self.entry(pid).map(|e| e.name.as_str())
+    }
+
+    /// Puts a running process to sleep. No-op for dead/missing processes.
+    pub fn sleep(&mut self, pid: Pid) {
+        if let Some(e) = self.entry_mut(pid) {
+            if e.state == ProcessState::Running {
+                e.state = ProcessState::Sleeping;
+            }
+        }
+    }
+
+    /// Wakes a sleeping process. Returns `true` if it was asleep.
+    pub fn wake(&mut self, pid: Pid) -> bool {
+        match self.entry_mut(pid) {
+            Some(e) if e.state == ProcessState::Sleeping => {
+                e.state = ProcessState::Running;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks a process dead.
+    pub fn kill(&mut self, pid: Pid) {
+        if let Some(e) = self.entry_mut(pid) {
+            e.state = ProcessState::Dead;
+        }
+    }
+
+    /// Pids currently in a given state.
+    pub fn in_state(&self, state: ProcessState) -> Vec<Pid> {
+        self.procs
+            .iter()
+            .filter(|e| e.state == state)
+            .map(|e| e.pid)
+            .collect()
+    }
+
+    fn entry(&self, pid: Pid) -> Option<&ProcEntry> {
+        self.procs.iter().find(|e| e.pid == pid)
+    }
+
+    fn entry_mut(&mut self, pid: Pid) -> Option<&mut ProcEntry> {
+        self.procs.iter_mut().find(|e| e.pid == pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_assigns_unique_pids() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn("a");
+        let b = t.spawn("b");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), Some("a"));
+        assert_eq!(t.state(b), Some(ProcessState::Running));
+    }
+
+    #[test]
+    fn sleep_wake_cycle() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn("ftd");
+        t.sleep(p);
+        assert_eq!(t.state(p), Some(ProcessState::Sleeping));
+        assert!(t.wake(p));
+        assert!(!t.wake(p), "waking a running process is a no-op");
+    }
+
+    #[test]
+    fn kill_is_terminal() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn("app");
+        t.kill(p);
+        t.sleep(p);
+        assert_eq!(t.state(p), Some(ProcessState::Dead));
+        assert!(!t.wake(p));
+    }
+
+    #[test]
+    fn in_state_filters() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn("a");
+        let b = t.spawn("b");
+        t.sleep(b);
+        assert_eq!(t.in_state(ProcessState::Running), vec![a]);
+        assert_eq!(t.in_state(ProcessState::Sleeping), vec![b]);
+    }
+
+    #[test]
+    fn missing_pid_is_none() {
+        let t = ProcessTable::new();
+        assert_eq!(t.state(Pid(99)), None);
+    }
+}

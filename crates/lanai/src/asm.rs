@@ -1,0 +1,586 @@
+//! A two-pass assembler for LN32.
+//!
+//! Firmware routines (the MCP's `send_chunk` above all) are written as
+//! assembly text and assembled into the byte image that is loaded into SRAM
+//! — and that the fault campaign flips bits in.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment                      # comment
+//! label:
+//!     addi  r1, r0, 42           ; rd, rs1, imm
+//!     lw    r2, 8(r1)            ; loads/stores use imm(reg)
+//!     sw    r2, 12(r1)
+//!     beq   r1, r2, label        ; branch targets are labels
+//!     jal   r15, subroutine
+//!     jr    r15
+//!     csrr  r3, 0x10             ; CSR ids are immediates
+//!     csrw  0x12, r3
+//!     li    r4, 0x12345678       ; pseudo: expands to lui+ori+ori as needed
+//!     .word 0xDEADBEEF           ; raw data
+//! ```
+//!
+//! Numbers may be decimal or `0x` hex. Registers are `r0`..`r15`. `li`
+//! always expands to a fixed 2-instruction sequence so that label addresses
+//! are stable in pass one.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Instr, Opcode, Reg, IMM_MAX, IMM_MIN};
+
+/// An assembly error with its source line number (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// The output of a successful assembly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assembled {
+    /// Little-endian machine code bytes.
+    pub bytes: Vec<u8>,
+    /// Byte offset of every label, relative to the image start.
+    pub labels: HashMap<String, u32>,
+}
+
+impl Assembled {
+    /// Byte offset of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was not defined — routine entry points are part
+    /// of the firmware contract, so a missing one is a build bug.
+    pub fn label(&self, label: &str) -> u32 {
+        *self
+            .labels
+            .get(label)
+            .unwrap_or_else(|| panic!("undefined label: {label}"))
+    }
+
+    /// Number of bytes in the image.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+enum Line {
+    Instr { instr: ParsedInstr, line: usize },
+    Word(u32),
+}
+
+/// Instruction with possibly-unresolved branch target.
+enum ParsedInstr {
+    Ready(Instr),
+    Branch {
+        op: Opcode,
+        rs1: Reg,
+        rs2: Reg,
+        target: String,
+    },
+    Jal {
+        rd: Reg,
+        target: String,
+    },
+}
+
+/// Assembles LN32 source text into a position-independent image.
+///
+/// All control flow is pc-relative, so the image may be loaded at any SRAM
+/// offset. Label offsets in the result are relative to the image start.
+///
+/// # Errors
+///
+/// Returns the first syntax error, unknown mnemonic, out-of-range immediate,
+/// or undefined/duplicate label encountered.
+pub fn assemble(source: &str) -> Result<Assembled, AsmError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut offset: u32 = 0;
+
+    // Pass 1: parse, expand pseudos, collect label offsets.
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut text = raw;
+        if let Some(p) = text.find([';', '#']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !is_ident(name) {
+                return Err(err(lineno, format!("bad label name: {name:?}")));
+            }
+            if labels.insert(name.to_string(), offset).is_some() {
+                return Err(err(lineno, format!("duplicate label: {name}")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnem, rest) = split_mnemonic(text);
+        match mnem {
+            ".word" => {
+                let v = parse_num(rest.trim(), lineno)?;
+                lines.push(Line::Word(v as u32));
+                offset += 4;
+            }
+            "li" => {
+                // li rd, imm — fixed 2-word expansion: lui + ori.
+                let ops = parse_operands(rest);
+                if ops.len() != 2 {
+                    return Err(err(lineno, "li needs: rd, imm".into()));
+                }
+                let rd = parse_reg(&ops[0], lineno)?;
+                let v = parse_num(&ops[1], lineno)? as u32;
+                for instr in expand_li(rd, v) {
+                    lines.push(Line::Instr {
+                        instr: ParsedInstr::Ready(instr),
+                        line: lineno,
+                    });
+                }
+                offset += 8;
+            }
+            _ => {
+                let instr = parse_instr(mnem, rest, lineno)?;
+                lines.push(Line::Instr { instr, line: lineno });
+                offset += 4;
+            }
+        }
+    }
+
+    // Pass 2: resolve branch targets and encode.
+    let mut bytes = Vec::with_capacity(lines.len() * 4);
+    let mut pc: u32 = 0;
+    for line in &lines {
+        let word = match line {
+            Line::Word(w) => *w,
+            Line::Instr { instr, line } => match instr {
+                ParsedInstr::Ready(i) => i.encode(),
+                ParsedInstr::Branch { op, rs1, rs2, target } => {
+                    let off = branch_offset(&labels, target, pc, *line)?;
+                    Instr::new(*op, Reg::ZERO, *rs1, *rs2, off).encode()
+                }
+                ParsedInstr::Jal { rd, target } => {
+                    let off = branch_offset(&labels, target, pc, *line)?;
+                    Instr::new(Opcode::Jal, *rd, Reg::ZERO, Reg::ZERO, off).encode()
+                }
+            },
+        };
+        bytes.extend_from_slice(&word.to_le_bytes());
+        pc += 4;
+    }
+
+    Ok(Assembled { bytes, labels })
+}
+
+/// Fixed two-word `li` expansion: `lui rd, v[26:13]; ori rd, rd, v[12:0]`.
+///
+/// `lui` deposits its 14-bit immediate at bit 13 (zero-extended), and `ori`
+/// fills the low 13 bits (bit 13 of `ori`'s immediate would sign-smear, so
+/// it stays clear). Constants up to 2^27-1 are expressible, which covers
+/// every firmware constant (SRAM is 1 MB; CSR ids and magic words are
+/// chosen below the limit). Larger constants are rejected loudly.
+fn expand_li(rd: Reg, v: u32) -> [Instr; 2] {
+    assert!(v < (1 << 27), "li constant {v:#x} exceeds 27 bits");
+    let hi = (v >> 13) & 0x3FFF;
+    // Fold the raw 14-bit field into the signed immediate whose low 14
+    // bits encode it (lui only looks at the raw bits).
+    let hi_signed = ((hi as i32) << 18) >> 18;
+    let lo = v & 0x1FFF;
+    [
+        Instr::new(Opcode::Lui, rd, Reg::ZERO, Reg::ZERO, hi_signed),
+        Instr::new(Opcode::Ori, rd, rd, Reg::ZERO, lo as i32),
+    ]
+}
+
+fn branch_offset(
+    labels: &HashMap<String, u32>,
+    target: &str,
+    pc: u32,
+    line: usize,
+) -> Result<i32, AsmError> {
+    let Some(&dest) = labels.get(target) else {
+        return Err(err(line, format!("undefined label: {target}")));
+    };
+    // Offset in words relative to the *next* instruction.
+    let off = (dest as i64 - (pc as i64 + 4)) / 4;
+    let off = i32::try_from(off).expect("branch offset fits i32");
+    if !(IMM_MIN..=IMM_MAX).contains(&off) {
+        return Err(err(line, format!("branch to {target} out of range")));
+    }
+    Ok(off)
+}
+
+fn err(line: usize, message: String) -> AsmError {
+    AsmError { line, message }
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars().next().is_some_and(|c| !c.is_ascii_digit())
+}
+
+fn split_mnemonic(text: &str) -> (&str, &str) {
+    match text.find(char::is_whitespace) {
+        Some(p) => (&text[..p], &text[p..]),
+        None => (text, ""),
+    }
+}
+
+fn parse_operands(rest: &str) -> Vec<String> {
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let Some(num) = s.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) else {
+        return Err(err(line, format!("expected register, got {s:?}")));
+    };
+    if num > 15 {
+        return Err(err(line, format!("register out of range: {s}")));
+    }
+    Ok(Reg::new(num))
+}
+
+fn parse_num(s: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => Err(err(line, format!("bad number: {s:?}"))),
+    }
+}
+
+fn parse_imm14(s: &str, line: usize) -> Result<i32, AsmError> {
+    let v = parse_num(s, line)?;
+    if v < IMM_MIN as i64 || v > IMM_MAX as i64 {
+        return Err(err(line, format!("immediate out of 14-bit range: {s}")));
+    }
+    Ok(v as i32)
+}
+
+/// Parses `imm(reg)` memory-operand syntax.
+fn parse_mem(s: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let Some(open) = s.find('(') else {
+        return Err(err(line, format!("expected imm(reg), got {s:?}")));
+    };
+    if !s.ends_with(')') {
+        return Err(err(line, format!("expected imm(reg), got {s:?}")));
+    }
+    let imm_part = s[..open].trim();
+    let imm = if imm_part.is_empty() {
+        0
+    } else {
+        parse_imm14(imm_part, line)?
+    };
+    let reg = parse_reg(s[open + 1..s.len() - 1].trim(), line)?;
+    Ok((imm, reg))
+}
+
+fn parse_instr(mnem: &str, rest: &str, line: usize) -> Result<ParsedInstr, AsmError> {
+    use Opcode::*;
+    let ops = parse_operands(rest);
+    let z = Reg::ZERO;
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("{mnem} expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+    let ready = |i: Instr| Ok(ParsedInstr::Ready(i));
+    match mnem {
+        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" => {
+            need(3)?;
+            let op = match mnem {
+                "add" => Add,
+                "sub" => Sub,
+                "and" => And,
+                "or" => Or,
+                "xor" => Xor,
+                "sll" => Sll,
+                _ => Srl,
+            };
+            ready(Instr::new(
+                op,
+                parse_reg(&ops[0], line)?,
+                parse_reg(&ops[1], line)?,
+                parse_reg(&ops[2], line)?,
+                0,
+            ))
+        }
+        "addi" | "andi" | "ori" | "xori" => {
+            need(3)?;
+            let op = match mnem {
+                "addi" => Addi,
+                "andi" => Andi,
+                "ori" => Ori,
+                _ => Xori,
+            };
+            ready(Instr::new(
+                op,
+                parse_reg(&ops[0], line)?,
+                parse_reg(&ops[1], line)?,
+                z,
+                parse_imm14(&ops[2], line)?,
+            ))
+        }
+        "lui" => {
+            need(2)?;
+            // lui's immediate is raw 14 bits; accept 0..16383 and fold.
+            let v = parse_num(&ops[1], line)?;
+            if !(IMM_MIN as i64..16384).contains(&v) {
+                return Err(err(line, format!("lui immediate out of range: {v}")));
+            }
+            let folded = (((v as u32 & 0x3FFF) as i32) << 18) >> 18;
+            ready(Instr::new(Lui, parse_reg(&ops[0], line)?, z, z, folded))
+        }
+        "lb" | "lh" | "lw" => {
+            need(2)?;
+            let op = match mnem {
+                "lb" => Lb,
+                "lh" => Lh,
+                _ => Lw,
+            };
+            let (imm, base) = parse_mem(&ops[1], line)?;
+            ready(Instr::new(op, parse_reg(&ops[0], line)?, base, z, imm))
+        }
+        "sb" | "sh" | "sw" => {
+            need(2)?;
+            let op = match mnem {
+                "sb" => Sb,
+                "sh" => Sh,
+                _ => Sw,
+            };
+            let (imm, base) = parse_mem(&ops[1], line)?;
+            ready(Instr::new(op, z, base, parse_reg(&ops[0], line)?, imm))
+        }
+        "beq" | "bne" | "bltu" | "bgeu" => {
+            need(3)?;
+            let op = match mnem {
+                "beq" => Beq,
+                "bne" => Bne,
+                "bltu" => Bltu,
+                _ => Bgeu,
+            };
+            Ok(ParsedInstr::Branch {
+                op,
+                rs1: parse_reg(&ops[0], line)?,
+                rs2: parse_reg(&ops[1], line)?,
+                target: ops[2].clone(),
+            })
+        }
+        "jal" => {
+            need(2)?;
+            Ok(ParsedInstr::Jal {
+                rd: parse_reg(&ops[0], line)?,
+                target: ops[1].clone(),
+            })
+        }
+        "jr" => {
+            need(1)?;
+            ready(Instr::new(Jr, z, parse_reg(&ops[0], line)?, z, 0))
+        }
+        "csrr" => {
+            need(2)?;
+            ready(Instr::new(
+                Csrr,
+                parse_reg(&ops[0], line)?,
+                z,
+                z,
+                parse_imm14(&ops[1], line)?,
+            ))
+        }
+        "csrw" => {
+            need(2)?;
+            ready(Instr::new(
+                Csrw,
+                z,
+                z,
+                parse_reg(&ops[1], line)?,
+                parse_imm14(&ops[0], line)?,
+            ))
+        }
+        "nop" => {
+            need(0)?;
+            ready(Instr::new(Nop, z, z, z, 0))
+        }
+        _ => Err(err(line, format!("unknown mnemonic: {mnem}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr;
+
+    fn decode_all(a: &Assembled) -> Vec<Instr> {
+        a.bytes
+            .chunks(4)
+            .map(|c| {
+                Instr::decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])).expect("valid instr")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assembles_arithmetic() {
+        let a = assemble("add r1, r2, r3\naddi r4, r1, -5\n").unwrap();
+        let is = decode_all(&a);
+        assert_eq!(is[0].op, Opcode::Add);
+        assert_eq!(is[1].imm, -5);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn memory_operand_syntax() {
+        let a = assemble("lw r1, 8(r2)\nsw r1, (r3)\n").unwrap();
+        let is = decode_all(&a);
+        assert_eq!(is[0].op, Opcode::Lw);
+        assert_eq!(is[0].imm, 8);
+        assert_eq!(is[0].rs1, Reg::new(2));
+        assert_eq!(is[1].op, Opcode::Sw);
+        assert_eq!(is[1].imm, 0);
+        assert_eq!(is[1].rs2, Reg::new(1));
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let src = "start: addi r1, r0, 3\nloop: addi r1, r1, -1\n bne r1, r0, loop\n jr r15\n";
+        let a = assemble(src).unwrap();
+        assert_eq!(a.label("start"), 0);
+        assert_eq!(a.label("loop"), 4);
+        let is = decode_all(&a);
+        // bne at pc=8, target 4 → offset (4 - 12)/4 = -2 words.
+        assert_eq!(is[2].imm, -2);
+    }
+
+    #[test]
+    fn forward_branch() {
+        let src = "beq r0, r0, done\nnop\nnop\ndone: jr r15\n";
+        let a = assemble(src).unwrap();
+        let is = decode_all(&a);
+        // beq at 0, target 12 → (12-4)/4 = 2.
+        assert_eq!(is[0].imm, 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let a = assemble("; full comment\n  # another\n\nnop ; trailing\n").unwrap();
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn word_directive() {
+        let a = assemble(".word 0xDEADBEEF\n").unwrap();
+        assert_eq!(a.bytes, 0xDEADBEEFu32.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn li_expansion_is_two_words() {
+        let a = assemble("li r1, 0x100000\njr r15\n").unwrap();
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn li_produces_value_shape() {
+        // 0x100000 = bit 20 set: hi14 = 0x100000 >> 13 = 0x80, lo13 = 0.
+        let a = assemble("li r1, 0x100000\n").unwrap();
+        let is = decode_all(&a);
+        assert_eq!(is[0].op, Opcode::Lui);
+        assert_eq!(is[0].imm, 0x80);
+        assert_eq!(is[1].op, Opcode::Ori);
+    }
+
+    #[test]
+    fn li_rejects_oversize_constant() {
+        let r = std::panic::catch_unwind(|| assemble("li r1, 0x8000000\n"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn csr_instructions() {
+        let a = assemble("csrr r2, 0x10\ncsrw 0x12, r2\n").unwrap();
+        let is = decode_all(&a);
+        assert_eq!(is[0].op, Opcode::Csrr);
+        assert_eq!(is[0].imm, 0x10);
+        assert_eq!(is[1].op, Opcode::Csrw);
+        assert_eq!(is[1].rs2, Reg::new(2));
+        assert_eq!(is[1].imm, 0x12);
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let e = assemble("beq r0, r0, nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let e = assemble("frobnicate r1, r2\n").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        assert!(assemble("addi r1, r0, 8191\n").is_ok());
+        assert!(assemble("addi r1, r0, 8192\n").is_err());
+        assert!(assemble("addi r1, r0, -8192\n").is_ok());
+        assert!(assemble("addi r1, r0, -8193\n").is_err());
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        assert!(assemble("add r1, r2\n").is_err());
+        assert!(assemble("jr\n").is_err());
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let a = assemble("a: b: nop\n").unwrap();
+        assert_eq!(a.label("a"), 0);
+        assert_eq!(a.label("b"), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Disassembly and bit-position forensics for LN32 images.
+//!
+//! The fault campaign reports a flipped *bit offset*; this module answers
+//! "what did that bit mean?": which instruction it sat in, which encoding
+//! field, and what the instruction disassembles to. The `forensics`
+//! analysis in `ftgm-faults` builds its outcome-by-field matrices on top.
+
+use crate::isa::Instr;
+
+/// Which encoding field a bit belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldKind {
+    /// Bits 31..26 — the opcode.
+    Opcode,
+    /// Bits 25..22 — destination register.
+    Rd,
+    /// Bits 21..18 — first source register.
+    Rs1,
+    /// Bits 17..14 — second source register.
+    Rs2,
+    /// Bits 13..0 — the immediate.
+    Imm,
+}
+
+impl FieldKind {
+    /// All fields, MSB-first.
+    pub const ALL: [FieldKind; 5] = [
+        FieldKind::Opcode,
+        FieldKind::Rd,
+        FieldKind::Rs1,
+        FieldKind::Rs2,
+        FieldKind::Imm,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FieldKind::Opcode => "opcode",
+            FieldKind::Rd => "rd",
+            FieldKind::Rs1 => "rs1",
+            FieldKind::Rs2 => "rs2",
+            FieldKind::Imm => "imm",
+        }
+    }
+}
+
+/// Classifies a bit position *within a 32-bit instruction word* (0 = LSB).
+pub fn field_of_word_bit(bit: u32) -> FieldKind {
+    match bit {
+        0..=13 => FieldKind::Imm,
+        14..=17 => FieldKind::Rs2,
+        18..=21 => FieldKind::Rs1,
+        22..=25 => FieldKind::Rd,
+        _ => FieldKind::Opcode,
+    }
+}
+
+/// Where a flipped bit of an image landed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitLocus {
+    /// Word index within the image.
+    pub word_index: usize,
+    /// Bit position within that word (0 = LSB).
+    pub word_bit: u32,
+    /// The encoding field hit.
+    pub field: FieldKind,
+    /// Disassembly of the original (uncorrupted) word.
+    pub instr: String,
+}
+
+/// Maps a bit offset (as used by `Sram::flip_bit`, relative to the image
+/// start: byte-order bits, little-endian within bytes) to its locus in the
+/// pristine image.
+///
+/// Returns `None` if the offset is outside the image.
+pub fn locate_bit(image: &[u8], bit_offset: u64) -> Option<BitLocus> {
+    let byte = (bit_offset / 8) as usize;
+    if byte >= image.len() {
+        return None;
+    }
+    let word_index = byte / 4;
+    // Little-endian: byte k of the word carries word bits 8k..8k+8.
+    let word_bit = ((byte % 4) as u32) * 8 + (bit_offset % 8) as u32;
+    let field = field_of_word_bit(word_bit);
+    let start = word_index * 4;
+    let instr = if start + 4 <= image.len() {
+        let w = u32::from_le_bytes([
+            image[start],
+            image[start + 1],
+            image[start + 2],
+            image[start + 3],
+        ]);
+        match Instr::decode(w) {
+            Some(i) => i.to_string(),
+            None => format!(".word {w:#010x}"),
+        }
+    } else {
+        ".word <partial>".to_string()
+    };
+    Some(BitLocus {
+        word_index,
+        word_bit,
+        field,
+        instr,
+    })
+}
+
+/// Disassembles an image into `(byte offset, text)` lines.
+pub fn disassemble(image: &[u8], base: u32) -> Vec<(u32, String)> {
+    image
+        .chunks(4)
+        .enumerate()
+        .map(|(i, c)| {
+            let text = if c.len() == 4 {
+                let w = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+                match Instr::decode(w) {
+                    Some(instr) => instr.to_string(),
+                    None => format!(".word {w:#010x}"),
+                }
+            } else {
+                ".byte …".to_string()
+            };
+            (base + i as u32 * 4, text)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn fields_partition_the_word() {
+        let mut counts = std::collections::BTreeMap::new();
+        for bit in 0..32 {
+            *counts.entry(field_of_word_bit(bit)).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&FieldKind::Imm], 14);
+        assert_eq!(counts[&FieldKind::Rs2], 4);
+        assert_eq!(counts[&FieldKind::Rs1], 4);
+        assert_eq!(counts[&FieldKind::Rd], 4);
+        assert_eq!(counts[&FieldKind::Opcode], 6);
+    }
+
+    #[test]
+    fn locate_bit_identifies_instruction_and_field() {
+        let image = assemble("addi r1, r0, 5\nsw r1, 8(r2)\n").unwrap();
+        // Bit 0 of the image: LSB of the first word → imm of the addi.
+        let l = locate_bit(&image.bytes, 0).unwrap();
+        assert_eq!(l.word_index, 0);
+        assert_eq!(l.field, FieldKind::Imm);
+        assert!(l.instr.contains("addi"), "{l:?}");
+        // Bit 63: MSB of the second word → opcode of the sw.
+        let l = locate_bit(&image.bytes, 63).unwrap();
+        assert_eq!(l.word_index, 1);
+        assert_eq!(l.field, FieldKind::Opcode);
+        assert!(l.instr.contains("sw"), "{l:?}");
+        // Out of range.
+        assert!(locate_bit(&image.bytes, 64).is_none());
+    }
+
+    #[test]
+    fn disassemble_round_trips_mnemonics() {
+        let src = "add r1, r2, r3\nlw r4, 12(r5)\njr r15\n";
+        let image = assemble(src).unwrap();
+        let listing = disassemble(&image.bytes, 0x1000);
+        assert_eq!(listing.len(), 3);
+        assert_eq!(listing[0].0, 0x1000);
+        assert!(listing[0].1.contains("add"));
+        assert!(listing[1].1.contains("lw"));
+        assert!(listing[2].1.contains("jr"));
+    }
+
+    #[test]
+    fn invalid_words_render_as_data() {
+        let listing = disassemble(&[0, 0, 0, 0], 0);
+        assert_eq!(listing[0].1, ".word 0x00000000");
+    }
+}

@@ -1,0 +1,426 @@
+//! The **LN32** instruction set.
+//!
+//! LN32 is a small fixed-width 32-bit RISC encoding in the spirit of the
+//! LANai core. The exact LANai ISA is irrelevant to the paper's experiments;
+//! what matters is that firmware is *real code in real bytes* so that
+//! flipping a random bit produces the same taxonomy of misbehaviour the
+//! paper observed: illegal instructions, wild branches, silently wrong data,
+//! stray control-register writes.
+//!
+//! # Encoding
+//!
+//! ```text
+//!  31       26 25   22 21   18 17   14 13            0
+//! +-----------+-------+-------+-------+---------------+
+//! |  opcode   |  rd   |  rs1  |  rs2  |     imm14     |
+//! +-----------+-------+-------+-------+---------------+
+//! ```
+//!
+//! `imm14` is sign-extended. Branch offsets are in *words* relative to the
+//! instruction after the branch. Opcodes occupy only the even-parity half
+//! of the 6-bit space (a common hardened-decoder layout): every single-bit
+//! corruption of an opcode field decodes to an undefined instruction and
+//! traps, which is the dominant way random code-segment corruption hangs a
+//! network processor.
+
+use std::fmt;
+
+/// One of the sixteen general-purpose registers.
+///
+/// `r0` always reads as zero (writes are discarded); `r15` is the link
+/// register by convention (`jal`/`jr`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// The conventional link register.
+    pub const LINK: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index out of range: {index}");
+        Reg(index)
+    }
+
+    /// The register's index, 0..=15.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// LN32 opcodes with their 6-bit encodings.
+///
+/// Values are chosen so that common instructions sit in a sparsely-populated
+/// space; the unassigned encodings decode to an illegal-instruction trap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `add rd, rs1, rs2`
+    Add = 0x03,
+    /// `sub rd, rs1, rs2`
+    Sub = 0x05,
+    /// `and rd, rs1, rs2`
+    And = 0x06,
+    /// `or rd, rs1, rs2`
+    Or = 0x09,
+    /// `xor rd, rs1, rs2`
+    Xor = 0x0A,
+    /// `sll rd, rs1, rs2` — shift left by `rs2 & 31`
+    Sll = 0x0C,
+    /// `srl rd, rs1, rs2` — logical shift right by `rs2 & 31`
+    Srl = 0x0F,
+    /// `addi rd, rs1, imm`
+    Addi = 0x11,
+    /// `andi rd, rs1, imm`
+    Andi = 0x12,
+    /// `ori rd, rs1, imm`
+    Ori = 0x14,
+    /// `xori rd, rs1, imm`
+    Xori = 0x17,
+    /// `lui rd, imm` — `rd = (imm & 0x3FFF) << 13` (zero-extended)
+    Lui = 0x18,
+    /// `lb rd, imm(rs1)` — load byte, zero-extended
+    Lb = 0x1B,
+    /// `lh rd, imm(rs1)` — load halfword, zero-extended
+    Lh = 0x1D,
+    /// `lw rd, imm(rs1)` — load word
+    Lw = 0x1E,
+    /// `sb rs2, imm(rs1)` — store low byte
+    Sb = 0x21,
+    /// `sh rs2, imm(rs1)` — store low halfword
+    Sh = 0x22,
+    /// `sw rs2, imm(rs1)` — store word
+    Sw = 0x24,
+    /// `beq rs1, rs2, off`
+    Beq = 0x27,
+    /// `bne rs1, rs2, off`
+    Bne = 0x28,
+    /// `bltu rs1, rs2, off`
+    Bltu = 0x2B,
+    /// `bgeu rs1, rs2, off`
+    Bgeu = 0x2D,
+    /// `jal rd, off` — jump and link, pc-relative
+    Jal = 0x2E,
+    /// `jr rs1` — indirect jump
+    Jr = 0x30,
+    /// `csrr rd, csr` — read a control/status register
+    Csrr = 0x33,
+    /// `csrw csr, rs2` — write a control/status register
+    Csrw = 0x35,
+    /// `nop`
+    Nop = 0x36,
+}
+
+impl Opcode {
+    /// Decodes a 6-bit opcode field; `None` for unassigned encodings.
+    pub fn from_bits(bits: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match bits {
+            0x03 => Add,
+            0x05 => Sub,
+            0x06 => And,
+            0x09 => Or,
+            0x0A => Xor,
+            0x0C => Sll,
+            0x0F => Srl,
+            0x11 => Addi,
+            0x12 => Andi,
+            0x14 => Ori,
+            0x17 => Xori,
+            0x18 => Lui,
+            0x1B => Lb,
+            0x1D => Lh,
+            0x1E => Lw,
+            0x21 => Sb,
+            0x22 => Sh,
+            0x24 => Sw,
+            0x27 => Beq,
+            0x28 => Bne,
+            0x2B => Bltu,
+            0x2D => Bgeu,
+            0x2E => Jal,
+            0x30 => Jr,
+            0x33 => Csrr,
+            0x35 => Csrw,
+            0x36 => Nop,
+            _ => return None,
+        })
+    }
+
+    /// The opcode's 6-bit encoding.
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// All assigned opcodes, in encoding order.
+    pub const ALL: [Opcode; 27] = {
+        use Opcode::*;
+        [
+            Add, Sub, And, Or, Xor, Sll, Srl, Addi, Andi, Ori, Xori, Lui, Lb, Lh, Lw, Sb, Sh,
+            Sw, Beq, Bne, Bltu, Bgeu, Jal, Jr, Csrr, Csrw, Nop,
+        ]
+    };
+}
+
+/// A decoded LN32 instruction: opcode plus raw fields.
+///
+/// The meaning of `rd`/`rs1`/`rs2`/`imm` depends on the opcode (see
+/// [`Opcode`] docs). Unused fields are ignored by the CPU and should be
+/// encoded as zero by the assembler.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Instr {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register field.
+    pub rd: Reg,
+    /// First source register field.
+    pub rs1: Reg,
+    /// Second source register field.
+    pub rs2: Reg,
+    /// 14-bit immediate, already sign-extended to i32.
+    pub imm: i32,
+}
+
+/// Range of the signed 14-bit immediate.
+pub const IMM_MIN: i32 = -(1 << 13);
+/// Range of the signed 14-bit immediate.
+pub const IMM_MAX: i32 = (1 << 13) - 1;
+
+impl Instr {
+    /// Builds an instruction, validating the immediate range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` does not fit in a signed 14-bit field.
+    pub fn new(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i32) -> Instr {
+        assert!(
+            (IMM_MIN..=IMM_MAX).contains(&imm),
+            "immediate {imm} out of 14-bit range"
+        );
+        Instr { op, rd, rs1, rs2, imm }
+    }
+
+    /// Encodes the instruction to its 32-bit word.
+    pub fn encode(self) -> u32 {
+        let imm14 = (self.imm as u32) & 0x3FFF;
+        ((self.op.bits() as u32) << 26)
+            | ((self.rd.index() as u32) << 22)
+            | ((self.rs1.index() as u32) << 18)
+            | ((self.rs2.index() as u32) << 14)
+            | imm14
+    }
+
+    /// Decodes a 32-bit word; `None` if the opcode field is unassigned.
+    pub fn decode(word: u32) -> Option<Instr> {
+        let op = Opcode::from_bits(((word >> 26) & 0x3F) as u8)?;
+        let rd = Reg::new(((word >> 22) & 0xF) as u8);
+        let rs1 = Reg::new(((word >> 18) & 0xF) as u8);
+        let rs2 = Reg::new(((word >> 14) & 0xF) as u8);
+        // Sign-extend the 14-bit immediate.
+        let raw = (word & 0x3FFF) as i32;
+        let imm = (raw << 18) >> 18;
+        Some(Instr { op, rd, rs1, rs2, imm })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        match self.op {
+            Add | Sub | And | Or | Xor | Sll | Srl => {
+                write!(
+                    f,
+                    "{} {}, {}, {}",
+                    mnemonic(self.op),
+                    self.rd,
+                    self.rs1,
+                    self.rs2
+                )
+            }
+            Addi | Andi | Ori | Xori => write!(
+                f,
+                "{} {}, {}, {}",
+                mnemonic(self.op),
+                self.rd,
+                self.rs1,
+                self.imm
+            ),
+            Lui => write!(f, "lui {}, {}", self.rd, self.imm),
+            Lb | Lh | Lw => write!(
+                f,
+                "{} {}, {}({})",
+                mnemonic(self.op),
+                self.rd,
+                self.imm,
+                self.rs1
+            ),
+            Sb | Sh | Sw => write!(
+                f,
+                "{} {}, {}({})",
+                mnemonic(self.op),
+                self.rs2,
+                self.imm,
+                self.rs1
+            ),
+            Beq | Bne | Bltu | Bgeu => write!(
+                f,
+                "{} {}, {}, {}",
+                mnemonic(self.op),
+                self.rs1,
+                self.rs2,
+                self.imm
+            ),
+            Jal => write!(f, "jal {}, {}", self.rd, self.imm),
+            Jr => write!(f, "jr {}", self.rs1),
+            Csrr => write!(f, "csrr {}, {:#x}", self.rd, self.imm),
+            Csrw => write!(f, "csrw {:#x}, {}", self.imm, self.rs2),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Lower-case mnemonic for an opcode.
+pub fn mnemonic(op: Opcode) -> &'static str {
+    use Opcode::*;
+    match op {
+        Add => "add",
+        Sub => "sub",
+        And => "and",
+        Or => "or",
+        Xor => "xor",
+        Sll => "sll",
+        Srl => "srl",
+        Addi => "addi",
+        Andi => "andi",
+        Ori => "ori",
+        Xori => "xori",
+        Lui => "lui",
+        Lb => "lb",
+        Lh => "lh",
+        Lw => "lw",
+        Sb => "sb",
+        Sh => "sh",
+        Sw => "sw",
+        Beq => "beq",
+        Bne => "bne",
+        Bltu => "bltu",
+        Bgeu => "bgeu",
+        Jal => "jal",
+        Jr => "jr",
+        Csrr => "csrr",
+        Csrw => "csrw",
+        Nop => "nop",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_simple() {
+        let i = Instr::new(Opcode::Addi, Reg::new(3), Reg::new(4), Reg::ZERO, -7);
+        let d = Instr::decode(i.encode()).unwrap();
+        assert_eq!(d, i);
+    }
+
+    #[test]
+    fn all_opcodes_roundtrip_bits() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_bits(op.bits()), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn unassigned_opcodes_decode_none() {
+        assert_eq!(Opcode::from_bits(0x00), None);
+        assert_eq!(Opcode::from_bits(0x01), None);
+        assert_eq!(Opcode::from_bits(0x3F), None);
+        // All-zero word (cleared SRAM) must not decode.
+        assert!(Instr::decode(0).is_none());
+    }
+
+    #[test]
+    fn single_bit_opcode_flips_always_trap() {
+        for op in Opcode::ALL {
+            for bit in 0..6 {
+                let flipped = op.bits() ^ (1 << bit);
+                assert_eq!(
+                    Opcode::from_bits(flipped),
+                    None,
+                    "{op:?} flips to a valid opcode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_density_is_under_half() {
+        // The fault campaign depends on a realistic illegal-opcode density.
+        let assigned = (0u8..64).filter(|b| Opcode::from_bits(*b).is_some()).count();
+        assert_eq!(assigned, 27);
+        assert!(assigned < 32, "{assigned}");
+    }
+
+    #[test]
+    fn immediate_sign_extension() {
+        let i = Instr::new(Opcode::Addi, Reg::ZERO, Reg::ZERO, Reg::ZERO, IMM_MIN);
+        let d = Instr::decode(i.encode()).unwrap();
+        assert_eq!(d.imm, IMM_MIN);
+        let i = Instr::new(Opcode::Addi, Reg::ZERO, Reg::ZERO, Reg::ZERO, IMM_MAX);
+        assert_eq!(Instr::decode(i.encode()).unwrap().imm, IMM_MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 14-bit range")]
+    fn oversize_immediate_panics() {
+        Instr::new(Opcode::Addi, Reg::ZERO, Reg::ZERO, Reg::ZERO, IMM_MAX + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index")]
+    fn bad_register_panics() {
+        Reg::new(16);
+    }
+
+    #[test]
+    fn fields_occupy_disjoint_bits() {
+        let i = Instr::new(
+            Opcode::Add,
+            Reg::new(0xF),
+            Reg::new(0xF),
+            Reg::new(0xF),
+            0,
+        );
+        let w = i.encode();
+        assert_eq!(w >> 26, Opcode::Add.bits() as u32);
+        assert_eq!((w >> 22) & 0xF, 0xF);
+        assert_eq!((w >> 18) & 0xF, 0xF);
+        assert_eq!((w >> 14) & 0xF, 0xF);
+        assert_eq!(w & 0x3FFF, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::new(Opcode::Sw, Reg::ZERO, Reg::new(2), Reg::new(5), 8);
+        assert_eq!(i.to_string(), "sw r5, 8(r2)");
+        let b = Instr::new(Opcode::Bne, Reg::ZERO, Reg::new(1), Reg::new(2), -3);
+        assert_eq!(b.to_string(), "bne r1, r2, -3");
+        assert_eq!(
+            Instr::new(Opcode::Nop, Reg::ZERO, Reg::ZERO, Reg::ZERO, 0).to_string(),
+            "nop"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! The LANai's local synchronous memory.
+//!
+//! LANai9 cards carried 512 KB – 8 MB of SRAM holding the MCP image, packet
+//! staging buffers and protocol state. We model it as a flat little-endian
+//! byte array with checked word/halfword accessors and a bit-flip primitive
+//! for the fault campaign.
+
+use std::fmt;
+
+/// Byte-addressable little-endian SRAM.
+///
+/// Accessors return [`MemResult`] so the CPU can turn bad firmware accesses
+/// into traps rather than panics; infrastructure code (the MCP model, the
+/// driver's load path) uses the panicking `*_checked`-free convenience
+/// wrappers where an out-of-range access would be a simulator bug.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Sram {
+    bytes: Vec<u8>,
+}
+
+/// Result of a checked memory access.
+pub type MemResult<T> = Result<T, MemFault>;
+
+/// An out-of-range or misaligned access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting byte address.
+    pub addr: u32,
+    /// `true` when the address was in range but misaligned.
+    pub misaligned: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.misaligned {
+            write!(f, "misaligned access at {:#x}", self.addr)
+        } else {
+            write!(f, "out-of-range access at {:#x}", self.addr)
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+impl Sram {
+    /// Allocates `len` bytes of zeroed SRAM.
+    pub fn new(len: usize) -> Sram {
+        Sram {
+            bytes: vec![0; len],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` for a zero-sized memory (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Zeroes the entire memory (the FTD's "clear the LANai SRAM" step).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+
+    fn check(&self, addr: u32, size: u32) -> MemResult<usize> {
+        let a = addr as usize;
+        if a.checked_add(size as usize).is_none_or(|end| end > self.bytes.len()) {
+            return Err(MemFault {
+                addr,
+                misaligned: false,
+            });
+        }
+        if !addr.is_multiple_of(size) {
+            return Err(MemFault {
+                addr,
+                misaligned: true,
+            });
+        }
+        Ok(a)
+    }
+
+    /// Reads a byte.
+    pub fn read_u8(&self, addr: u32) -> MemResult<u8> {
+        let a = self.check(addr, 1)?;
+        Ok(self.bytes[a])
+    }
+
+    /// Reads a little-endian halfword; must be 2-byte aligned.
+    pub fn read_u16(&self, addr: u32) -> MemResult<u16> {
+        let a = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Reads a little-endian word; must be 4-byte aligned.
+    pub fn read_u32(&self, addr: u32) -> MemResult<u32> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Writes a byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> MemResult<()> {
+        let a = self.check(addr, 1)?;
+        self.bytes[a] = v;
+        Ok(())
+    }
+
+    /// Writes a little-endian halfword; must be 2-byte aligned.
+    pub fn write_u16(&mut self, addr: u32, v: u16) -> MemResult<()> {
+        let a = self.check(addr, 2)?;
+        self.bytes[a..a + 2].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a little-endian word; must be 4-byte aligned.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> MemResult<()> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range is out of bounds — callers are
+    /// simulator infrastructure (firmware load, DMA engines) whose ranges
+    /// are validated upstream.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a byte range out of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (see [`Sram::write_bytes`]).
+    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
+        let a = addr as usize;
+        &self.bytes[a..a + len]
+    }
+
+    /// Flips a single bit: `bit` indexes bits across the whole memory,
+    /// little-endian within each byte. This is the fault-injection
+    /// primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit / 8` is out of range.
+    pub fn flip_bit(&mut self, bit: u64) {
+        let byte = (bit / 8) as usize;
+        let mask = 1u8 << (bit % 8);
+        self.bytes[byte] ^= mask;
+    }
+
+    /// Simple additive 32-bit checksum of a region (the checksum unit's
+    /// algorithm): sum of little-endian words with the trailing bytes
+    /// zero-padded, wrapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn checksum(&self, addr: u32, len: u32) -> u32 {
+        let mut sum: u32 = 0;
+        let mut i = 0;
+        while i + 4 <= len {
+            sum = sum.wrapping_add(
+                self.read_u32_unaligned(addr + i),
+            );
+            i += 4;
+        }
+        if i < len {
+            let mut tail = [0u8; 4];
+            for (k, t) in tail.iter_mut().enumerate().take((len - i) as usize) {
+                *t = self.bytes[(addr + i) as usize + k];
+            }
+            sum = sum.wrapping_add(u32::from_le_bytes(tail));
+        }
+        sum
+    }
+
+    fn read_u32_unaligned(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ])
+    }
+}
+
+impl fmt::Debug for Sram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sram({} bytes)", self.bytes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = Sram::new(64);
+        m.write_u32(8, 0xCAFEBABE).unwrap();
+        assert_eq!(m.read_u32(8).unwrap(), 0xCAFEBABE);
+        // Little-endian layout.
+        assert_eq!(m.read_u8(8).unwrap(), 0xBE);
+        assert_eq!(m.read_u8(11).unwrap(), 0xCA);
+    }
+
+    #[test]
+    fn halfword_roundtrip() {
+        let mut m = Sram::new(16);
+        m.write_u16(2, 0xBEEF).unwrap();
+        assert_eq!(m.read_u16(2).unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn misaligned_word_faults() {
+        let m = Sram::new(16);
+        let e = m.read_u32(2).unwrap_err();
+        assert!(e.misaligned);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = Sram::new(16);
+        assert!(!m.read_u32(16).unwrap_err().misaligned);
+        assert!(m.write_u8(16, 0).is_err());
+        // Near-overflow address must not wrap.
+        assert!(m.read_u32(u32::MAX - 2).is_err());
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut m = Sram::new(8);
+        m.write_u32(0, 0xFFFFFFFF).unwrap();
+        m.clear();
+        assert_eq!(m.read_u32(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn flip_bit_toggles() {
+        let mut m = Sram::new(4);
+        m.flip_bit(9); // bit 1 of byte 1
+        assert_eq!(m.read_u8(1).unwrap(), 0b10);
+        m.flip_bit(9);
+        assert_eq!(m.read_u8(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = Sram::new(32);
+        m.write_bytes(4, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(4, 5), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn checksum_is_word_sum() {
+        let mut m = Sram::new(16);
+        m.write_u32(0, 1).unwrap();
+        m.write_u32(4, 2).unwrap();
+        assert_eq!(m.checksum(0, 8), 3);
+        // Tail bytes are zero-padded.
+        m.write_u8(8, 0xFF).unwrap();
+        assert_eq!(m.checksum(0, 9), 3 + 0xFF);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut m = Sram::new(64);
+        m.write_bytes(0, &[7u8; 64]);
+        let before = m.checksum(0, 64);
+        m.flip_bit(100);
+        assert_ne!(m.checksum(0, 64), before);
+    }
+}

@@ -1,0 +1,180 @@
+//! The LANai's three interval timers.
+//!
+//! Real hardware exposes IT0..IT2 as 32-bit counters decremented every
+//! 0.5 µs; reaching zero sets the timer's bit in the interface status
+//! register (ISR). GM's MCP uses IT0 to drive its `L_timer()` housekeeping
+//! routine; the paper's watchdog commandeers a spare timer (IT1) whose
+//! expiry — if `L_timer()` ever stops re-arming it — raises a host
+//! interrupt.
+//!
+//! In the simulation a timer is a deadline in [`SimTime`]; the chip reports
+//! the earliest deadline so the world can schedule a check event. Timers
+//! run independently of the CPU: a hung MCP does *not* stop them, which is
+//! precisely the property the watchdog needs.
+
+use ftgm_sim::{SimDuration, SimTime};
+
+/// Identifies one of the three interval timers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TimerId {
+    /// IT0 — used by GM's `L_timer()` housekeeping.
+    It0,
+    /// IT1 — the paper's software watchdog.
+    It1,
+    /// IT2 — spare.
+    It2,
+}
+
+impl TimerId {
+    /// All timers in index order.
+    pub const ALL: [TimerId; 3] = [TimerId::It0, TimerId::It1, TimerId::It2];
+
+    /// Index 0..=2.
+    pub const fn index(self) -> usize {
+        match self {
+            TimerId::It0 => 0,
+            TimerId::It1 => 1,
+            TimerId::It2 => 2,
+        }
+    }
+
+    /// The timer's ISR bit mask.
+    pub const fn isr_bit(self) -> u32 {
+        1 << self.index()
+    }
+}
+
+/// Hardware tick granularity: counters decrement every 0.5 µs.
+pub const TICK: SimDuration = SimDuration::from_nanos(500);
+
+/// One interval timer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntervalTimer {
+    /// Absolute expiry instant, if armed.
+    deadline: Option<SimTime>,
+}
+
+impl IntervalTimer {
+    /// Creates a disarmed timer.
+    pub fn new() -> IntervalTimer {
+        IntervalTimer { deadline: None }
+    }
+
+    /// Arms (or re-arms) the timer to expire after `ticks` hardware ticks.
+    pub fn arm_ticks(&mut self, now: SimTime, ticks: u32) {
+        self.deadline = Some(now + TICK * ticks as u64);
+    }
+
+    /// Arms (or re-arms) the timer to expire after a duration, rounded up
+    /// to whole hardware ticks.
+    pub fn arm(&mut self, now: SimTime, after: SimDuration) {
+        let ticks = after.as_nanos().div_ceil(TICK.as_nanos());
+        self.deadline = Some(now + TICK * ticks);
+    }
+
+    /// Disarms the timer.
+    pub fn disarm(&mut self) {
+        self.deadline = None;
+    }
+
+    /// The pending expiry instant, if armed.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.deadline
+    }
+
+    /// `true` if the timer is armed and its deadline has passed.
+    pub fn expired(&self, now: SimTime) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+
+    /// Consumes an expiry: returns `true` exactly once per arm+expire.
+    pub fn take_expiry(&mut self, now: SimTime) -> bool {
+        if self.expired(now) {
+            self.deadline = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remaining ticks until expiry (0 if expired or disarmed), as the
+    /// countdown register would read.
+    pub fn count(&self, now: SimTime) -> u32 {
+        match self.deadline {
+            Some(d) if d > now => {
+                let ns = (d - now).as_nanos();
+                (ns / TICK.as_nanos()).min(u32::MAX as u64) as u32
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn disarmed_never_expires() {
+        let t = IntervalTimer::new();
+        assert!(!t.expired(SimTime::from_nanos(u64::MAX / 2)));
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn arm_ticks_sets_deadline() {
+        let mut t = IntervalTimer::new();
+        t.arm_ticks(T0, 3);
+        assert_eq!(t.deadline(), Some(SimTime::from_nanos(1_500)));
+        assert!(!t.expired(SimTime::from_nanos(1_499)));
+        assert!(t.expired(SimTime::from_nanos(1_500)));
+    }
+
+    #[test]
+    fn arm_duration_rounds_up_to_ticks() {
+        let mut t = IntervalTimer::new();
+        t.arm(T0, SimDuration::from_nanos(750));
+        assert_eq!(t.deadline(), Some(SimTime::from_nanos(1_000)));
+    }
+
+    #[test]
+    fn take_expiry_fires_once() {
+        let mut t = IntervalTimer::new();
+        t.arm_ticks(T0, 1);
+        let later = SimTime::from_nanos(600);
+        assert!(t.take_expiry(later));
+        assert!(!t.take_expiry(later));
+    }
+
+    #[test]
+    fn rearm_moves_deadline() {
+        let mut t = IntervalTimer::new();
+        t.arm_ticks(T0, 2);
+        t.arm_ticks(SimTime::from_nanos(500), 4);
+        assert_eq!(t.deadline(), Some(SimTime::from_nanos(2_500)));
+    }
+
+    #[test]
+    fn count_reads_remaining_ticks() {
+        let mut t = IntervalTimer::new();
+        t.arm_ticks(T0, 10);
+        assert_eq!(t.count(SimTime::from_nanos(2_400)), 5);
+        assert_eq!(t.count(SimTime::from_nanos(5_000)), 0);
+    }
+
+    #[test]
+    fn disarm_clears() {
+        let mut t = IntervalTimer::new();
+        t.arm_ticks(T0, 1);
+        t.disarm();
+        assert!(!t.expired(SimTime::from_nanos(10_000)));
+    }
+
+    #[test]
+    fn isr_bits_are_distinct() {
+        let bits: Vec<u32> = TimerId::ALL.iter().map(|t| t.isr_bit()).collect();
+        assert_eq!(bits, vec![1, 2, 4]);
+    }
+}

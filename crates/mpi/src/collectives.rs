@@ -1,0 +1,205 @@
+//! Collective communication schedules.
+//!
+//! Pure rank arithmetic — who talks to whom in which round — kept separate
+//! from the execution machinery so the algorithms are unit-testable:
+//!
+//! * **dissemination barrier**: ⌈log₂ n⌉ rounds; in round *k* every rank
+//!   sends to `(r + 2^k) mod n` and waits for `(r − 2^k) mod n`,
+//! * **binomial-tree broadcast**: rank `vr = (r − root) mod n` receives in
+//!   round ⌊log₂ vr⌋ from `vr − 2^k`, then relays to `vr + 2^j` in later
+//!   rounds.
+
+/// Number of rounds for an n-rank dissemination or binomial pattern.
+pub fn rounds(n: u32) -> u32 {
+    assert!(n >= 1, "collectives need at least one rank");
+    32 - (n - 1).leading_zeros()
+}
+
+/// One round of the dissemination barrier: `(send_to, recv_from)`.
+pub fn barrier_round(rank: u32, n: u32, round: u32) -> (u32, u32) {
+    assert!(rank < n);
+    let k = 1u32 << round;
+    ((rank + k) % n, (rank + n - k % n) % n)
+}
+
+/// The barrier's full schedule for `rank`.
+pub fn barrier_schedule(rank: u32, n: u32) -> Vec<(u32, u32)> {
+    (0..rounds(n)).map(|r| barrier_round(rank, n, r)).collect()
+}
+
+/// A broadcast participant's schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastPlan {
+    /// Where the data comes from (`None` at the root).
+    pub recv_from: Option<u32>,
+    /// Ranks to relay to, in round order.
+    pub send_to: Vec<u32>,
+}
+
+/// Computes the binomial-tree plan for `rank` with the given `root`.
+pub fn broadcast_plan(rank: u32, root: u32, n: u32) -> BroadcastPlan {
+    assert!(rank < n && root < n);
+    let vr = (rank + n - root) % n;
+    let (recv_from, first_send_round) = if vr == 0 {
+        (None, 0)
+    } else {
+        let k = 31 - vr.leading_zeros(); // highest set bit: receiving round
+        let from_vr = vr - (1 << k);
+        (Some((from_vr + root) % n), k + 1)
+    };
+    let mut send_to = Vec::new();
+    for j in first_send_round..rounds(n) {
+        let to_vr = vr + (1 << j);
+        if to_vr < n {
+            send_to.push((to_vr + root) % n);
+        }
+    }
+    BroadcastPlan { recv_from, send_to }
+}
+
+/// A ring all-reduce participant's lap-1/lap-2 roles.
+///
+/// Lap 1 accumulates around the ring `0 → 1 → … → n−1`; rank `n−1` then
+/// holds the total and starts lap 2, `n−1 → 0 → 1 → … → n−2`, distributing
+/// it (rank `n−2` is the last receiver that must forward nothing new to
+/// `n−1`, which already has the total).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingPlan {
+    /// Lap 1: who we accumulate from (`None` at rank 0, which starts).
+    pub l1_recv_from: Option<u32>,
+    /// Lap 1: who we pass the running sum to (`None` at rank n−1, which
+    /// completes the total).
+    pub l1_send_to: Option<u32>,
+    /// Lap 2: who we get the total from (`None` at rank n−1).
+    pub l2_recv_from: Option<u32>,
+    /// Lap 2: who we forward the total to (`None` at rank n−2, the last
+    /// receiver before the loop would close).
+    pub l2_send_to: Option<u32>,
+}
+
+/// Computes the ring plan for `rank` of `n`.
+pub fn ring_plan(rank: u32, n: u32) -> RingPlan {
+    assert!(rank < n);
+    if n == 1 {
+        return RingPlan {
+            l1_recv_from: None,
+            l1_send_to: None,
+            l2_recv_from: None,
+            l2_send_to: None,
+        };
+    }
+    let last = n - 1;
+    RingPlan {
+        l1_recv_from: (rank > 0).then(|| rank - 1),
+        l1_send_to: (rank < last).then(|| rank + 1),
+        l2_recv_from: (rank != last).then(|| (rank + n - 1) % n),
+        l2_send_to: (rank == last || rank + 1 != last).then(|| (rank + 1) % n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rounds_is_ceil_log2() {
+        assert_eq!(rounds(1), 0);
+        assert_eq!(rounds(2), 1);
+        assert_eq!(rounds(3), 2);
+        assert_eq!(rounds(4), 2);
+        assert_eq!(rounds(5), 3);
+        assert_eq!(rounds(8), 3);
+        assert_eq!(rounds(9), 4);
+    }
+
+    #[test]
+    fn barrier_partners_are_symmetric() {
+        // If rank a sends to b in round k, then b expects a in round k.
+        for n in 2..10u32 {
+            for k in 0..rounds(n) {
+                for a in 0..n {
+                    let (to, _) = barrier_round(a, n, k);
+                    let (_, from) = barrier_round(to, n, k);
+                    assert_eq!(from, a, "n={n} k={k} a={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_covers_all_ranks_exactly_once() {
+        for n in 1..17u32 {
+            for root in 0..n {
+                let mut received: HashSet<u32> = HashSet::new();
+                received.insert(root);
+                let mut senders = 0;
+                for r in 0..n {
+                    let plan = broadcast_plan(r, root, n);
+                    if r == root {
+                        assert!(plan.recv_from.is_none());
+                    } else {
+                        assert!(plan.recv_from.is_some());
+                        assert!(received.insert(r) || !received.contains(&r));
+                    }
+                    senders += plan.send_to.len();
+                }
+                // Every non-root rank is someone's send target exactly once.
+                let mut targets: Vec<u32> = (0..n)
+                    .flat_map(|r| broadcast_plan(r, root, n).send_to)
+                    .collect();
+                targets.sort_unstable();
+                let mut expect: Vec<u32> = (0..n).filter(|&r| r != root).collect();
+                expect.sort_unstable();
+                assert_eq!(targets, expect, "n={n} root={root}");
+                assert_eq!(senders as u32, n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_receive_precedes_sends() {
+        // A rank's receiving round is strictly before its sending rounds.
+        for n in 2..17u32 {
+            for r in 1..n {
+                let plan = broadcast_plan(r, 0, n);
+                let k = 31 - r.leading_zeros();
+                for (i, &to) in plan.send_to.iter().enumerate() {
+                    let to_vr = to; // root 0: vr == rank
+                    assert_eq!(to_vr, r + (1 << (k + 1 + i as u32)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_plan_chains_completely() {
+        for n in 1..9u32 {
+            let plans: Vec<RingPlan> = (0..n).map(|r| ring_plan(r, n)).collect();
+            if n == 1 {
+                assert_eq!(plans[0].l1_send_to, None);
+                continue;
+            }
+            // Lap 1 visits every rank once, 0 → n-1.
+            let mut at = 0u32;
+            let mut visited = 1;
+            while let Some(next) = plans[at as usize].l1_send_to {
+                assert_eq!(plans[next as usize].l1_recv_from, Some(at));
+                at = next;
+                visited += 1;
+            }
+            assert_eq!(at, n - 1);
+            assert_eq!(visited, n);
+            // Lap 2 reaches every rank except n-1 (which computed the total).
+            let mut at = n - 1;
+            let mut reached = 0;
+            while let Some(next) = plans[at as usize].l2_send_to {
+                assert_eq!(plans[next as usize].l2_recv_from, Some(at));
+                at = next;
+                reached += 1;
+                assert!(reached <= n, "lap 2 loops");
+            }
+            assert_eq!(reached, n - 1, "n={n}");
+        }
+    }
+}

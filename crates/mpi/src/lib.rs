@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! A minimal MPI-like middleware over the GM model.
+//!
+//! The paper's motivation names MPI explicitly: "Middleware, such as MPI,
+//! built on top of GM, consider GM send errors to be fatal and exit when
+//! they encounter such errors. This can cause a distributed application
+//! using MPI to come to a grinding halt if proper fault tolerance is not
+//! implemented." — and FTGM's promise is that such middleware keeps
+//! working, unmodified, across an interface failure.
+//!
+//! This crate is that middleware, scaled to the simulation: ranks over GM
+//! ports, tag-matched point-to-point messaging ([`mailbox`]), and the
+//! classic collectives ([`collectives`]): dissemination **barrier**,
+//! binomial-tree **broadcast**, and ring **all-reduce**. Rank programs are
+//! written as sequential *operation streams* ([`Op`]); the middleware runs
+//! each operation's protocol and feeds the result back.
+//!
+//! Nothing in this crate references `ftgm-core`: it runs identically on
+//! plain GM and on FTGM — the integration tests demonstrate that a
+//! collective rides out a network-processor hang when (and only when) the
+//! fault-tolerance stack is installed.
+
+pub mod collectives;
+pub mod mailbox;
+pub mod runner;
+
+pub use mailbox::{Envelope, TAG_USER_MAX};
+pub use runner::{spawn_rank, MpiHarness, Op, OpResult, RankProgram, RankSpec};

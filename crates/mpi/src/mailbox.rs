@@ -1,0 +1,159 @@
+//! Tag-matched messaging over GM.
+//!
+//! MPI matches receives by `(source, tag)`; GM delivers whatever arrives.
+//! The mailbox bridges the two: every middleware message travels as a GM
+//! message carrying an [`Envelope`] header (source rank, tag), and arrived
+//! envelopes wait in per-`(source, tag)` queues until a matching receive
+//! posts. GM's in-order delivery per stream makes each `(source, tag)`
+//! queue FIFO.
+
+use std::collections::VecDeque;
+
+/// Highest tag value available to applications; larger tags are reserved
+/// for the collective protocols.
+pub const TAG_USER_MAX: u64 = 1 << 48;
+
+/// Wire format of a middleware message: `[src_rank u32][tag u64][payload]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src_rank: u32,
+    /// Match tag.
+    pub tag: u64,
+    /// Application bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Serializes to GM message bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.payload.len());
+        out.extend_from_slice(&self.src_rank.to_le_bytes());
+        out.extend_from_slice(&self.tag.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses GM message bytes.
+    ///
+    /// Returns `None` for messages too short to carry a header (not
+    /// produced by this middleware).
+    pub fn decode(data: &[u8]) -> Option<Envelope> {
+        if data.len() < 12 {
+            return None;
+        }
+        let src_rank = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        let tag = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes"));
+        Some(Envelope {
+            src_rank,
+            tag,
+            payload: data[12..].to_vec(),
+        })
+    }
+}
+
+/// A pending receive's match pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    /// Required source rank, or `None` for any source.
+    pub from: Option<u32>,
+    /// Required tag.
+    pub tag: u64,
+}
+
+impl Pattern {
+    fn matches(&self, env: &Envelope) -> bool {
+        self.tag == env.tag && self.from.is_none_or(|f| f == env.src_rank)
+    }
+}
+
+/// Buffers unmatched arrivals and unmatched receives.
+#[derive(Clone, Debug, Default)]
+pub struct Mailbox {
+    arrived: VecDeque<Envelope>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Mailbox {
+        Mailbox::default()
+    }
+
+    /// Stores an arrived envelope.
+    pub fn deliver(&mut self, env: Envelope) {
+        self.arrived.push_back(env);
+    }
+
+    /// Takes the oldest envelope matching `pattern`, if any.
+    pub fn take(&mut self, pattern: Pattern) -> Option<Envelope> {
+        let idx = self.arrived.iter().position(|e| pattern.matches(e))?;
+        self.arrived.remove(idx)
+    }
+
+    /// Number of buffered envelopes.
+    pub fn len(&self) -> usize {
+        self.arrived.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.arrived.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: u32, tag: u64, byte: u8) -> Envelope {
+        Envelope {
+            src_rank: src,
+            tag,
+            payload: vec![byte],
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let e = Envelope {
+            src_rank: 7,
+            tag: 0xDEAD_BEEF,
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(Envelope::decode(&e.encode()), Some(e));
+    }
+
+    #[test]
+    fn short_messages_rejected() {
+        assert_eq!(Envelope::decode(&[0; 11]), None);
+        assert!(Envelope::decode(&[0; 12]).is_some());
+    }
+
+    #[test]
+    fn take_matches_tag_and_source() {
+        let mut m = Mailbox::new();
+        m.deliver(env(1, 10, 0xA));
+        m.deliver(env(2, 10, 0xB));
+        m.deliver(env(1, 20, 0xC));
+        // Any-source by tag: FIFO.
+        let got = m.take(Pattern { from: None, tag: 10 }).unwrap();
+        assert_eq!(got.payload, vec![0xA]);
+        // Specific source.
+        let got = m.take(Pattern { from: Some(2), tag: 10 }).unwrap();
+        assert_eq!(got.payload, vec![0xB]);
+        // No match for wrong source.
+        assert!(m.take(Pattern { from: Some(2), tag: 20 }).is_none());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let mut m = Mailbox::new();
+        m.deliver(env(3, 5, 1));
+        m.deliver(env(3, 5, 2));
+        let p = Pattern { from: Some(3), tag: 5 };
+        assert_eq!(m.take(p).unwrap().payload, vec![1]);
+        assert_eq!(m.take(p).unwrap().payload, vec![2]);
+        assert!(m.is_empty());
+    }
+}

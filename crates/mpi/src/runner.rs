@@ -1,0 +1,547 @@
+//! Rank programs, operations, and the execution harness.
+//!
+//! An MPI process is modelled as a *sequential stream of operations*: the
+//! middleware asks the [`RankProgram`] for its next [`Op`], runs that
+//! operation's protocol over GM (point-to-point tag matching, or one of
+//! the collective schedules), and hands the [`OpResult`] back. SPMD
+//! programs therefore look like a straight-line list of sends, receives,
+//! barriers and reductions — and, as on the paper's testbed, they have no
+//! idea whether the interface below them failed and recovered.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ftgm_gm::{App, Ctx, GmEvent, World};
+use ftgm_net::NodeId;
+use ftgm_sim::SimTime;
+
+use crate::collectives::{barrier_schedule, broadcast_plan, ring_plan};
+use crate::mailbox::{Envelope, Mailbox, Pattern, TAG_USER_MAX};
+
+/// A rank's sequential program.
+pub trait RankProgram: 'static {
+    /// Returns the next operation, given the result of the previous one
+    /// (`None` on the first call). Returning `None` finishes the rank.
+    fn next_op(&mut self, rank: u32, nranks: u32, last: Option<OpResult>) -> Option<Op>;
+}
+
+/// The operations a rank program can issue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Eager point-to-point send.
+    Send {
+        /// Destination rank.
+        to: u32,
+        /// Match tag (must be below [`TAG_USER_MAX`]).
+        tag: u64,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// Blocking receive by `(source, tag)`.
+    Recv {
+        /// Required source, or any.
+        from: Option<u32>,
+        /// Match tag.
+        tag: u64,
+    },
+    /// Dissemination barrier across all ranks.
+    Barrier,
+    /// Binomial-tree broadcast; the root supplies `data`.
+    Broadcast {
+        /// The broadcasting rank.
+        root: u32,
+        /// Payload (root only; ignored elsewhere).
+        data: Option<Vec<u8>>,
+    },
+    /// Ring all-reduce: element-wise wrapping sum of `u64` vectors.
+    AllReduceSum {
+        /// This rank's contribution.
+        values: Vec<u64>,
+    },
+}
+
+/// What an operation produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpResult {
+    /// The send was posted.
+    Sent,
+    /// A message arrived.
+    Received {
+        /// Sender rank.
+        from: u32,
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// All ranks passed the barrier.
+    BarrierDone,
+    /// The broadcast payload.
+    Broadcast {
+        /// The (root's) data.
+        data: Vec<u8>,
+    },
+    /// The reduced vector.
+    AllReduceSum {
+        /// Element-wise totals.
+        values: Vec<u64>,
+    },
+}
+
+// Reserved tag space: [kind | collective-sequence | round].
+const TAG_COLL_BASE: u64 = TAG_USER_MAX;
+const KIND_BARRIER: u64 = 1;
+const KIND_BCAST: u64 = 2;
+const KIND_AR_L1: u64 = 3;
+const KIND_AR_L2: u64 = 4;
+
+fn coll_tag(kind: u64, seq: u64, round: u64) -> u64 {
+    TAG_COLL_BASE | (kind << 40) | (seq << 8) | round
+}
+
+/// Shared observation point for a harness's ranks.
+#[derive(Debug, Default)]
+pub struct HarnessState {
+    /// `(rank, finish time)` of every completed program.
+    pub finished: Vec<(u32, SimTime)>,
+    /// GM send errors surfaced to the middleware (MPI would abort).
+    pub fatal_errors: u64,
+}
+
+/// Where each rank lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankSpec {
+    /// Host interface.
+    pub node: NodeId,
+    /// GM port on that interface.
+    pub port: u8,
+}
+
+enum Executing {
+    Idle,
+    Recv(Pattern),
+    Barrier {
+        schedule: Vec<(u32, u32)>,
+        round: usize,
+        seq: u64,
+    },
+    Broadcast {
+        recv_from: Option<u32>,
+        send_to: Vec<u32>,
+        data: Option<Vec<u8>>,
+        seq: u64,
+    },
+    AllReduce {
+        values: Vec<u64>,
+        stage: ArStage,
+        seq: u64,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ArStage {
+    Lap1,
+    Lap2,
+}
+
+/// The GM application that runs one rank.
+pub struct MpiRankApp {
+    rank: u32,
+    ranks: Vec<RankSpec>,
+    program: Box<dyn RankProgram>,
+    mailbox: Mailbox,
+    executing: Executing,
+    coll_seq: u64,
+    buf_size: u32,
+    done: bool,
+    state: Rc<RefCell<HarnessState>>,
+    pending_results: VecDeque<OpResult>,
+}
+
+impl MpiRankApp {
+    fn nranks(&self) -> u32 {
+        self.ranks.len() as u32
+    }
+
+    fn post(&mut self, ctx: &mut Ctx<'_>, to: u32, tag: u64, payload: Vec<u8>) {
+        let env = Envelope {
+            src_rank: self.rank,
+            tag,
+            payload,
+        };
+        let spec = self.ranks[to as usize];
+        ctx.gm_send(&env.encode(), spec.node, spec.port);
+    }
+
+    /// Starts executing `op`; may complete it synchronously.
+    fn begin(&mut self, ctx: &mut Ctx<'_>, op: Op) {
+        match op {
+            Op::Send { to, tag, data } => {
+                assert!(tag < TAG_USER_MAX, "tag {tag:#x} is reserved");
+                self.post(ctx, to, tag, data);
+                self.pending_results.push_back(OpResult::Sent);
+                self.executing = Executing::Idle;
+            }
+            Op::Recv { from, tag } => {
+                assert!(tag < TAG_USER_MAX, "tag {tag:#x} is reserved");
+                self.executing = Executing::Recv(Pattern { from, tag });
+            }
+            Op::Barrier => {
+                let seq = self.coll_seq;
+                self.coll_seq += 1;
+                let schedule = barrier_schedule(self.rank, self.nranks());
+                if schedule.is_empty() {
+                    self.pending_results.push_back(OpResult::BarrierDone);
+                    self.executing = Executing::Idle;
+                    return;
+                }
+                let (to, _) = schedule[0];
+                self.post(ctx, to, coll_tag(KIND_BARRIER, seq, 0), Vec::new());
+                self.executing = Executing::Barrier {
+                    schedule,
+                    round: 0,
+                    seq,
+                };
+            }
+            Op::Broadcast { root, data } => {
+                let seq = self.coll_seq;
+                self.coll_seq += 1;
+                let plan = broadcast_plan(self.rank, root, self.nranks());
+                if self.rank == root {
+                    let data = data.expect("broadcast root must supply data");
+                    for &to in &plan.send_to {
+                        self.post(ctx, to, coll_tag(KIND_BCAST, seq, 0), data.clone());
+                    }
+                    self.pending_results
+                        .push_back(OpResult::Broadcast { data });
+                    self.executing = Executing::Idle;
+                } else {
+                    self.executing = Executing::Broadcast {
+                        recv_from: plan.recv_from,
+                        send_to: plan.send_to,
+                        data: None,
+                        seq,
+                    };
+                }
+            }
+            Op::AllReduceSum { values } => {
+                let seq = self.coll_seq;
+                self.coll_seq += 1;
+                let n = self.nranks();
+                if n == 1 {
+                    self.pending_results
+                        .push_back(OpResult::AllReduceSum { values });
+                    self.executing = Executing::Idle;
+                    return;
+                }
+                let plan = ring_plan(self.rank, n);
+                if plan.l1_recv_from.is_none() {
+                    // Rank 0 seeds lap 1.
+                    let to = plan.l1_send_to.expect("n>1");
+                    let payload = encode_u64s(&values);
+                    self.post(ctx, to, coll_tag(KIND_AR_L1, seq, 0), payload);
+                }
+                self.executing = Executing::AllReduce {
+                    values,
+                    stage: ArStage::Lap1,
+                    seq,
+                };
+            }
+        }
+    }
+
+    /// Tries to advance the current operation with mailbox contents.
+    fn advance(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            // Take ownership of the execution state so protocol steps can
+            // freely post messages; write it back when still blocked.
+            let ex = std::mem::replace(&mut self.executing, Executing::Idle);
+            match ex {
+                Executing::Idle => return,
+                Executing::Recv(pattern) => {
+                    match self.mailbox.take(pattern) {
+                        Some(env) => {
+                            self.pending_results.push_back(OpResult::Received {
+                                from: env.src_rank,
+                                data: env.payload,
+                            });
+                            return;
+                        }
+                        None => {
+                            self.executing = Executing::Recv(pattern);
+                            return;
+                        }
+                    }
+                }
+                Executing::Barrier {
+                    schedule,
+                    mut round,
+                    seq,
+                } => {
+                    let (_, from) = schedule[round];
+                    let tag = coll_tag(KIND_BARRIER, seq, round as u64);
+                    if self
+                        .mailbox
+                        .take(Pattern { from: Some(from), tag })
+                        .is_none()
+                    {
+                        self.executing = Executing::Barrier { schedule, round, seq };
+                        return;
+                    }
+                    round += 1;
+                    if round == schedule.len() {
+                        self.pending_results.push_back(OpResult::BarrierDone);
+                        return;
+                    }
+                    let (to, _) = schedule[round];
+                    self.post(ctx, to, coll_tag(KIND_BARRIER, seq, round as u64), Vec::new());
+                    self.executing = Executing::Barrier { schedule, round, seq };
+                }
+                Executing::Broadcast {
+                    recv_from,
+                    send_to,
+                    data,
+                    seq,
+                } => {
+                    let from = recv_from.expect("non-root broadcast receives");
+                    let tag = coll_tag(KIND_BCAST, seq, 0);
+                    match self.mailbox.take(Pattern { from: Some(from), tag }) {
+                        Some(env) => {
+                            for to in send_to {
+                                self.post(ctx, to, tag, env.payload.clone());
+                            }
+                            self.pending_results
+                                .push_back(OpResult::Broadcast { data: env.payload });
+                            return;
+                        }
+                        None => {
+                            self.executing = Executing::Broadcast {
+                                recv_from,
+                                send_to,
+                                data,
+                                seq,
+                            };
+                            return;
+                        }
+                    }
+                }
+                Executing::AllReduce { values, stage, seq } => {
+                    let n = self.nranks();
+                    let plan = ring_plan(self.rank, n);
+                    let last = n - 1;
+                    match stage {
+                        ArStage::Lap1 => {
+                            let Some(from) = plan.l1_recv_from else {
+                                // Rank 0 already seeded lap 1; wait in lap 2.
+                                self.executing = Executing::AllReduce {
+                                    values,
+                                    stage: ArStage::Lap2,
+                                    seq,
+                                };
+                                continue;
+                            };
+                            let tag = coll_tag(KIND_AR_L1, seq, 0);
+                            let Some(env) = self.mailbox.take(Pattern { from: Some(from), tag })
+                            else {
+                                self.executing = Executing::AllReduce {
+                                    values,
+                                    stage: ArStage::Lap1,
+                                    seq,
+                                };
+                                return;
+                            };
+                            let mut acc = decode_u64s(&env.payload);
+                            for (a, v) in acc.iter_mut().zip(values.iter()) {
+                                *a = a.wrapping_add(*v);
+                            }
+                            if self.rank == last {
+                                // Total computed here: start lap 2, done.
+                                let to = plan.l2_send_to.expect("n>1");
+                                self.post(ctx, to, coll_tag(KIND_AR_L2, seq, 0), encode_u64s(&acc));
+                                self.pending_results
+                                    .push_back(OpResult::AllReduceSum { values: acc });
+                                return;
+                            }
+                            let to = plan.l1_send_to.expect("mid-ring sends");
+                            self.post(ctx, to, coll_tag(KIND_AR_L1, seq, 0), encode_u64s(&acc));
+                            self.executing = Executing::AllReduce {
+                                values,
+                                stage: ArStage::Lap2,
+                                seq,
+                            };
+                        }
+                        ArStage::Lap2 => {
+                            let Some(from) = plan.l2_recv_from else {
+                                // Only rank n-1 lacks a lap-2 source, and it
+                                // finished in lap 1.
+                                unreachable!("rank n-1 completes in lap 1");
+                            };
+                            let tag = coll_tag(KIND_AR_L2, seq, 0);
+                            let Some(env) = self.mailbox.take(Pattern { from: Some(from), tag })
+                            else {
+                                self.executing = Executing::AllReduce {
+                                    values,
+                                    stage: ArStage::Lap2,
+                                    seq,
+                                };
+                                return;
+                            };
+                            let totals = decode_u64s(&env.payload);
+                            if let Some(to) = plan.l2_send_to {
+                                self.post(ctx, to, tag, env.payload.clone());
+                            }
+                            self.pending_results
+                                .push_back(OpResult::AllReduceSum { values: totals });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives the program: deliver completed results, fetch next ops.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            self.advance(ctx);
+            if self.done || !matches!(self.executing, Executing::Idle) {
+                return;
+            }
+            let last = self.pending_results.pop_front();
+            let nranks = self.nranks();
+            match self.program.next_op(self.rank, nranks, last) {
+                Some(op) => self.begin(ctx, op),
+                None => {
+                    self.done = true;
+                    self.state
+                        .borrow_mut()
+                        .finished
+                        .push((self.rank, ctx.now()));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn encode_u64s(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_u64s(data: &[u8]) -> Vec<u64> {
+    data.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+impl App for MpiRankApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for _ in 0..8 {
+            ctx.gm_provide_receive_buffer(self.buf_size);
+        }
+        self.pump(ctx);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: GmEvent) {
+        match ev {
+            GmEvent::Received { data, .. } => {
+                ctx.gm_provide_receive_buffer(self.buf_size);
+                if let Some(env) = Envelope::decode(&data) {
+                    self.mailbox.deliver(env);
+                }
+                self.pump(ctx);
+            }
+            GmEvent::SendError { .. } => {
+                // MPI over GM treats send errors as fatal; count them so
+                // tests can assert they never happen under FTGM.
+                self.state.borrow_mut().fatal_errors += 1;
+            }
+            GmEvent::SentOk { .. } | GmEvent::Alarm { .. } => {}
+        }
+    }
+}
+
+/// Spawns one rank into the world.
+pub fn spawn_rank(
+    world: &mut World,
+    rank: u32,
+    ranks: Vec<RankSpec>,
+    buf_size: u32,
+    program: Box<dyn RankProgram>,
+    state: Rc<RefCell<HarnessState>>,
+) {
+    let spec = ranks[rank as usize];
+    world.spawn_app(
+        spec.node,
+        spec.port,
+        Box::new(MpiRankApp {
+            rank,
+            ranks,
+            program,
+            mailbox: Mailbox::new(),
+            executing: Executing::Idle,
+            coll_seq: 0,
+            buf_size,
+            done: false,
+            state,
+            pending_results: VecDeque::new(),
+        }),
+    );
+}
+
+/// Convenience harness: `n` ranks on a single-switch star, one per node.
+pub struct MpiHarness {
+    /// The underlying world (exposed for fault injection etc.).
+    pub world: World,
+    /// Shared completion/error observations.
+    pub state: Rc<RefCell<HarnessState>>,
+    ranks: Vec<RankSpec>,
+}
+
+impl MpiHarness {
+    /// Builds the world (star topology) without spawning ranks yet.
+    pub fn star(n: u32, config: ftgm_gm::WorldConfig) -> MpiHarness {
+        let world = World::new(ftgm_net::Topology::star(n as usize), config);
+        let ranks = (0..n)
+            .map(|r| RankSpec {
+                node: NodeId(r as u16),
+                port: 1,
+            })
+            .collect();
+        MpiHarness {
+            world,
+            state: Rc::new(RefCell::new(HarnessState::default())),
+            ranks,
+        }
+    }
+
+    /// The rank placement.
+    pub fn ranks(&self) -> &[RankSpec] {
+        &self.ranks
+    }
+
+    /// Spawns every rank with a program built per rank.
+    pub fn spawn_all<F>(&mut self, buf_size: u32, mut make: F)
+    where
+        F: FnMut(u32) -> Box<dyn RankProgram>,
+    {
+        for r in 0..self.ranks.len() as u32 {
+            spawn_rank(
+                &mut self.world,
+                r,
+                self.ranks.clone(),
+                buf_size,
+                make(r),
+                self.state.clone(),
+            );
+        }
+    }
+
+    /// `true` once every rank's program returned `None`.
+    pub fn all_done(&self) -> bool {
+        self.state.borrow().finished.len() == self.ranks.len()
+    }
+}

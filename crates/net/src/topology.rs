@@ -1,0 +1,390 @@
+//! Network topology: host interfaces, switches, and the links between them.
+//!
+//! A Myrinet network is a graph whose vertices are host interfaces (one
+//! port each) and crossbar switches (the paper's M3M-SW8 has 8 ports), and
+//! whose edges are full-duplex links. [`TopologyBuilder`] assembles the
+//! graph; [`Topology`] provides the read-only queries the fabric and the
+//! mapper need.
+
+use std::fmt;
+
+/// Identifies a host interface (one per node).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifies a switch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SwitchId(pub u16);
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "switch{}", self.0)
+    }
+}
+
+/// One attachable point in the network: a NIC, or a numbered switch port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Endpoint {
+    /// A host interface's single network port.
+    Nic(NodeId),
+    /// Port `port` of switch `switch`.
+    SwitchPort {
+        /// The switch.
+        switch: SwitchId,
+        /// Port index on that switch.
+        port: u8,
+    },
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Nic(n) => write!(f, "{n}"),
+            Endpoint::SwitchPort { switch, port } => write!(f, "{switch}.p{port}"),
+        }
+    }
+}
+
+/// A full-duplex link between two endpoints, identified by index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    /// One side.
+    pub a: Endpoint,
+    /// The other side.
+    pub b: Endpoint,
+}
+
+/// An immutable network graph.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    node_count: usize,
+    switch_ports: Vec<u8>,
+    links: Vec<Link>,
+    // nic_link[node] = link index attached to that NIC.
+    nic_link: Vec<Option<usize>>,
+    // switch_link[switch][port] = link index, if connected.
+    switch_link: Vec<Vec<Option<usize>>>,
+}
+
+impl Topology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Number of host interfaces.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switch_ports.len()
+    }
+
+    /// Port count of a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn switch_port_count(&self, s: SwitchId) -> u8 {
+        self.switch_ports[s.0 as usize]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The link attached to a NIC, if cabled.
+    pub fn nic_link(&self, n: NodeId) -> Option<usize> {
+        self.nic_link.get(n.0 as usize).copied().flatten()
+    }
+
+    /// The link attached to a switch port, if cabled.
+    pub fn switch_port_link(&self, s: SwitchId, port: u8) -> Option<usize> {
+        self.switch_link
+            .get(s.0 as usize)
+            .and_then(|ports| ports.get(port as usize))
+            .copied()
+            .flatten()
+    }
+
+    /// The endpoint on the far side of `link` from `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not one of the link's endpoints.
+    pub fn peer(&self, link: usize, from: Endpoint) -> Endpoint {
+        let l = self.links[link];
+        if l.a == from {
+            l.b
+        } else if l.b == from {
+            l.a
+        } else {
+            panic!("{from} is not an endpoint of link {link}")
+        }
+    }
+
+    /// Convenience: the two-host, one-switch testbed of the paper's
+    /// evaluation (two PCI64B cards cabled to an M3M-SW8): node0 on switch
+    /// port 0, node1 on port 1.
+    pub fn two_nodes_one_switch() -> Topology {
+        let mut b = Topology::builder();
+        b.add_nodes(2);
+        let sw = b.add_switch(8);
+        b.connect(Endpoint::Nic(NodeId(0)), Endpoint::SwitchPort { switch: sw, port: 0 });
+        b.connect(Endpoint::Nic(NodeId(1)), Endpoint::SwitchPort { switch: sw, port: 1 });
+        b.build()
+    }
+
+    /// Convenience: `n` hosts on a single switch with at least `n` ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 255`.
+    pub fn star(n: usize) -> Topology {
+        assert!(n <= 255, "star topology limited to 255 hosts");
+        let mut b = Topology::builder();
+        b.add_nodes(n);
+        let ports = (n.max(8)) as u8;
+        let sw = b.add_switch(ports);
+        for i in 0..n {
+            b.connect(
+                Endpoint::Nic(NodeId(i as u16)),
+                Endpoint::SwitchPort {
+                    switch: sw,
+                    port: i as u8,
+                },
+            );
+        }
+        b.build()
+    }
+
+    /// Convenience: hosts spread across a chain of switches.
+    ///
+    /// `hosts_per_switch` hosts hang off each of `switches` switches; the
+    /// switches are daisy-chained on their two highest ports. Models
+    /// multi-hop routes and inter-switch contention.
+    pub fn switch_chain(switches: usize, hosts_per_switch: usize) -> Topology {
+        assert!(switches >= 1);
+        let mut b = Topology::builder();
+        b.add_nodes(switches * hosts_per_switch);
+        let ports = (hosts_per_switch + 2).max(8) as u8;
+        let sws: Vec<SwitchId> = (0..switches).map(|_| b.add_switch(ports)).collect();
+        for (si, &sw) in sws.iter().enumerate() {
+            for h in 0..hosts_per_switch {
+                b.connect(
+                    Endpoint::Nic(NodeId((si * hosts_per_switch + h) as u16)),
+                    Endpoint::SwitchPort {
+                        switch: sw,
+                        port: h as u8,
+                    },
+                );
+            }
+        }
+        for w in sws.windows(2) {
+            b.connect(
+                Endpoint::SwitchPort {
+                    switch: w[0],
+                    port: ports - 1,
+                },
+                Endpoint::SwitchPort {
+                    switch: w[1],
+                    port: ports - 2,
+                },
+            );
+        }
+        b.build()
+    }
+}
+
+/// Incrementally assembles a [`Topology`].
+///
+/// # Example
+///
+/// ```
+/// use ftgm_net::topology::{Endpoint, NodeId, Topology};
+///
+/// let mut b = Topology::builder();
+/// b.add_nodes(2);
+/// let sw = b.add_switch(8);
+/// b.connect(Endpoint::Nic(NodeId(0)), Endpoint::SwitchPort { switch: sw, port: 0 });
+/// b.connect(Endpoint::Nic(NodeId(1)), Endpoint::SwitchPort { switch: sw, port: 5 });
+/// let topo = b.build();
+/// assert_eq!(topo.node_count(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TopologyBuilder {
+    node_count: usize,
+    switch_ports: Vec<u8>,
+    links: Vec<Link>,
+}
+
+impl TopologyBuilder {
+    /// Adds `n` host interfaces, ids assigned consecutively.
+    pub fn add_nodes(&mut self, n: usize) -> &mut Self {
+        self.node_count += n;
+        self
+    }
+
+    /// Adds a switch with `ports` ports, returning its id.
+    pub fn add_switch(&mut self, ports: u8) -> SwitchId {
+        assert!(ports > 0, "a switch needs at least one port");
+        self.switch_ports.push(ports);
+        SwitchId((self.switch_ports.len() - 1) as u16)
+    }
+
+    /// Cables two endpoints together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint does not exist, is already cabled, or the
+    /// two endpoints are identical.
+    pub fn connect(&mut self, a: Endpoint, b: Endpoint) -> &mut Self {
+        assert_ne!(a, b, "cannot cable an endpoint to itself");
+        for ep in [a, b] {
+            match ep {
+                Endpoint::Nic(n) => {
+                    assert!(
+                        (n.0 as usize) < self.node_count,
+                        "unknown node {n} (have {})",
+                        self.node_count
+                    );
+                }
+                Endpoint::SwitchPort { switch, port } => {
+                    let ports = self
+                        .switch_ports
+                        .get(switch.0 as usize)
+                        .unwrap_or_else(|| panic!("unknown switch {switch}"));
+                    assert!(port < *ports, "switch {switch} has no port {port}");
+                }
+            }
+            assert!(
+                !self
+                    .links
+                    .iter()
+                    .any(|l| l.a == ep || l.b == ep),
+                "{ep} is already cabled"
+            );
+        }
+        self.links.push(Link { a, b });
+        self
+    }
+
+    /// Finalizes the topology.
+    pub fn build(&self) -> Topology {
+        let mut nic_link = vec![None; self.node_count];
+        let mut switch_link: Vec<Vec<Option<usize>>> = self
+            .switch_ports
+            .iter()
+            .map(|&p| vec![None; p as usize])
+            .collect();
+        for (i, l) in self.links.iter().enumerate() {
+            for ep in [l.a, l.b] {
+                match ep {
+                    Endpoint::Nic(n) => nic_link[n.0 as usize] = Some(i),
+                    Endpoint::SwitchPort { switch, port } => {
+                        switch_link[switch.0 as usize][port as usize] = Some(i)
+                    }
+                }
+            }
+        }
+        Topology {
+            node_count: self.node_count,
+            switch_ports: self.switch_ports.clone(),
+            links: self.links.clone(),
+            nic_link,
+            switch_link,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_node_testbed_shape() {
+        let t = Topology::two_nodes_one_switch();
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.switch_count(), 1);
+        assert_eq!(t.links().len(), 2);
+        assert!(t.nic_link(NodeId(0)).is_some());
+        assert!(t.nic_link(NodeId(1)).is_some());
+        assert!(t.switch_port_link(SwitchId(0), 2).is_none());
+    }
+
+    #[test]
+    fn peer_resolves_far_side() {
+        let t = Topology::two_nodes_one_switch();
+        let l = t.nic_link(NodeId(0)).unwrap();
+        let far = t.peer(l, Endpoint::Nic(NodeId(0)));
+        assert_eq!(
+            far,
+            Endpoint::SwitchPort {
+                switch: SwitchId(0),
+                port: 0
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn peer_rejects_foreign_endpoint() {
+        let t = Topology::two_nodes_one_switch();
+        let l = t.nic_link(NodeId(0)).unwrap();
+        t.peer(l, Endpoint::Nic(NodeId(1)));
+    }
+
+    #[test]
+    fn star_connects_all() {
+        let t = Topology::star(5);
+        assert_eq!(t.node_count(), 5);
+        for i in 0..5 {
+            assert!(t.nic_link(NodeId(i)).is_some());
+        }
+    }
+
+    #[test]
+    fn switch_chain_links_switches() {
+        let t = Topology::switch_chain(3, 2);
+        assert_eq!(t.node_count(), 6);
+        assert_eq!(t.switch_count(), 3);
+        // 6 host links + 2 inter-switch links.
+        assert_eq!(t.links().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "already cabled")]
+    fn double_cable_rejected() {
+        let mut b = Topology::builder();
+        b.add_nodes(2);
+        let sw = b.add_switch(4);
+        b.connect(Endpoint::Nic(NodeId(0)), Endpoint::SwitchPort { switch: sw, port: 0 });
+        b.connect(Endpoint::Nic(NodeId(0)), Endpoint::SwitchPort { switch: sw, port: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "no port")]
+    fn bad_port_rejected() {
+        let mut b = Topology::builder();
+        b.add_nodes(1);
+        let sw = b.add_switch(4);
+        b.connect(Endpoint::Nic(NodeId(0)), Endpoint::SwitchPort { switch: sw, port: 9 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_node_rejected() {
+        let mut b = Topology::builder();
+        let sw = b.add_switch(4);
+        b.connect(Endpoint::Nic(NodeId(0)), Endpoint::SwitchPort { switch: sw, port: 0 });
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation engine for the FTGM Myrinet
+//! reproduction.
+//!
+//! Every other crate in this workspace models *state*; this crate models
+//! *time*. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`Scheduler`] — a deterministic event queue with stable FIFO
+//!   tie-breaking and cancellation,
+//! * [`rng::SimRng`] — a seedable, reproducible pseudo-random generator
+//!   (xoshiro256**), so that a campaign run with the same seed replays
+//!   bit-for-bit,
+//! * [`trace::Trace`] — a lightweight event trace used to regenerate the
+//!   paper's Figure 9 recovery timeline.
+//!
+//! # Example
+//!
+//! ```
+//! use ftgm_sim::{Scheduler, SimDuration};
+//!
+//! let mut sched: Scheduler<&str> = Scheduler::new();
+//! sched.schedule_in(SimDuration::from_us(5), "world");
+//! sched.schedule_in(SimDuration::from_us(1), "hello");
+//! let (t1, e1) = sched.pop().unwrap();
+//! let (t2, e2) = sched.pop().unwrap();
+//! assert_eq!((e1, e2), ("hello", "world"));
+//! assert!(t1 < t2);
+//! ```
+
+pub mod rng;
+pub mod sched;
+pub mod time;
+pub mod trace;
+
+pub use rng::SimRng;
+pub use sched::{EventId, Scheduler};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

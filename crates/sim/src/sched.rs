@@ -1,0 +1,271 @@
+//! The deterministic event scheduler.
+//!
+//! A binary min-heap ordered by `(time, sequence)`: two events scheduled for
+//! the same instant pop in the order they were scheduled, which makes whole
+//! simulations replayable. Cancellation is supported through [`EventId`]
+//! tombstones, which timer re-arming (the watchdog path) relies on.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest entry.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// The scheduler owns the simulation clock: [`Scheduler::pop`] advances
+/// `now()` to the popped event's timestamp. Scheduling in the past is a
+/// programming error and panics, because it would make causality ambiguous.
+///
+/// # Example
+///
+/// ```
+/// use ftgm_sim::{Scheduler, SimDuration};
+///
+/// let mut s: Scheduler<u32> = Scheduler::new();
+/// let id = s.schedule_in(SimDuration::from_us(1), 1);
+/// s.schedule_in(SimDuration::from_us(2), 2);
+/// s.cancel(id);
+/// assert_eq!(s.pop().map(|(_, e)| e), Some(2));
+/// assert!(s.pop().is_none());
+/// ```
+pub struct Scheduler<E> {
+    now: SimTime,
+    next_seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of scheduled-but-not-yet-fired, not-cancelled events.
+    live: HashSet<u64>,
+    popped: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than `now()`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event had not yet
+    /// fired or been cancelled. Cancelling an already-fired event is a no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// Removes and returns the next live event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.live.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if !self.live.contains(&entry.seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// `true` when no live events remain.
+    ///
+    /// Takes `&mut self` because checking collects cancelled-entry
+    /// tombstones off the heap top.
+    #[allow(clippy::len_without_is_empty, clippy::wrong_self_convention)]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of live (pending, not cancelled) events.
+    #[allow(clippy::len_without_is_empty)] // is_empty exists, but needs &mut
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("live", &self.live.len())
+            .field("delivered", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(30), "c");
+        s.schedule_at(SimTime::from_nanos(10), "a");
+        s.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(42), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), ());
+        s.pop();
+        s.schedule_at(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_nanos(1), 1);
+        s.schedule_at(SimTime::from_nanos(2), 2);
+        assert!(s.cancel(id));
+        assert!(!s.cancel(id), "double cancel reports false");
+        assert_eq!(s.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_nanos(1), 1);
+        assert_eq!(s.pop().map(|(_, e)| e), Some(1));
+        assert!(!s.cancel(id));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let id = s.schedule_at(SimTime::from_nanos(1), 1);
+        s.schedule_at(SimTime::from_nanos(7), 2);
+        s.cancel(id);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(100), 1);
+        s.pop();
+        s.schedule_in(SimDuration::from_nanos(50), 2);
+        assert_eq!(s.pop(), Some((SimTime::from_nanos(150), 2)));
+    }
+
+    #[test]
+    fn empty_and_counters() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule_in(SimDuration::ZERO, 9);
+        assert!(!s.is_empty());
+        s.pop();
+        assert!(s.is_empty());
+        assert_eq!(s.events_delivered(), 1);
+    }
+}

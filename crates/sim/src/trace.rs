@@ -1,0 +1,190 @@
+//! Simulation tracing.
+//!
+//! Recovery experiments (Figure 9, Table 3) need a timeline of named
+//! milestones: fault injected, watchdog fired, FTD woken, MCP reloaded,
+//! per-port handler done. [`Trace`] records `(time, category, message)`
+//! triples cheaply and renders them as an aligned timeline.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One recorded milestone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the milestone occurred.
+    pub at: SimTime,
+    /// Short category tag, e.g. `"wdog"`, `"ftd"`, `"mcp"`.
+    pub category: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// An append-only milestone log.
+///
+/// Disabled traces drop events without allocating, so production-path code
+/// can trace unconditionally.
+///
+/// # Example
+///
+/// ```
+/// use ftgm_sim::{SimTime, Trace};
+///
+/// let mut trace = Trace::enabled();
+/// trace.record(SimTime::from_nanos(800_000), "wdog", "IT1 expired");
+/// assert_eq!(trace.events().len(), 1);
+/// assert!(trace.render().contains("IT1 expired"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off without clearing history.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records a milestone if the trace is enabled.
+    pub fn record(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                category,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// All recorded milestones in insertion order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Milestones matching a category tag.
+    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// First milestone whose message contains `needle`.
+    pub fn find(&self, needle: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.message.contains(needle))
+    }
+
+    /// Clears the recorded history.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders the timeline as aligned text, one milestone per line, with
+    /// absolute time and delta since the previous milestone.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut prev: Option<SimTime> = None;
+        for ev in &self.events {
+            let delta = prev.map(|p| ev.at.saturating_since(p));
+            let delta_str = match delta {
+                Some(d) => format!("+{:>12.3}us", d.as_micros_f64()),
+                None => format!("{:>13}", ""),
+            };
+            fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{:>14.3}us {} [{:<5}] {}\n",
+                    ev.at.as_micros_f64(),
+                    delta_str,
+                    ev.category,
+                    ev.message
+                ),
+            )
+            .expect("writing to String cannot fail");
+            prev = Some(ev.at);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, "x", "hello");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_nanos(5), "x", "hello");
+        t.record(SimTime::from_nanos(9), "y", "world");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[1].message, "world");
+    }
+
+    #[test]
+    fn by_category_filters() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, "a", "1");
+        t.record(SimTime::ZERO, "b", "2");
+        t.record(SimTime::ZERO, "a", "3");
+        assert_eq!(t.by_category("a").count(), 2);
+    }
+
+    #[test]
+    fn find_locates_substring() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, "a", "watchdog fired");
+        assert!(t.find("dog").is_some());
+        assert!(t.find("cat").is_none());
+    }
+
+    #[test]
+    fn render_contains_deltas() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_nanos(1_000), "a", "first");
+        t.record(SimTime::from_nanos(3_500), "b", "second");
+        let rendered = t.render();
+        assert!(rendered.contains("first"));
+        assert!(rendered.contains("+"));
+        assert!(rendered.contains("2.500us"), "rendered: {rendered}");
+    }
+
+    #[test]
+    fn set_enabled_toggles() {
+        let mut t = Trace::disabled();
+        t.set_enabled(true);
+        assert!(t.is_enabled());
+        t.record(SimTime::ZERO, "a", "x");
+        t.set_enabled(false);
+        t.record(SimTime::ZERO, "a", "y");
+        assert_eq!(t.events().len(), 1);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

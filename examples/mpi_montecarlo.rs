@@ -1,0 +1,104 @@
+//! A fault-tolerant MPI-style Monte-Carlo π estimation.
+//!
+//! ```text
+//! cargo run --release --example mpi_montecarlo
+//! ```
+//!
+//! Six ranks each draw pseudo-random points, count hits inside the unit
+//! circle, and combine the tallies with a ring all-reduce over the GM
+//! model — the shape of a thousand MPI mini-apps. Between iterations, rank
+//! 4's network processor is hit by a transient upset. The middleware
+//! (`ftgm-mpi`) never learns about it: FTGM detects the hang, reloads the
+//! MCP, replays the tokens, and the job converges to π anyway.
+
+use ftgm_core::FtSystem;
+use ftgm_gm::WorldConfig;
+use ftgm_mpi::{MpiHarness, Op, OpResult, RankProgram};
+use ftgm_net::NodeId;
+use ftgm_sim::{SimDuration, SimRng};
+
+const RANKS: u32 = 6;
+const ROUNDS: u32 = 4;
+const SAMPLES_PER_ROUND: u64 = 200_000;
+
+struct PiRank {
+    rng: SimRng,
+    round: u32,
+    issued: bool,
+    totals: Vec<(u64, u64)>, // (hits, samples) after each reduce
+}
+
+impl PiRank {
+    fn sample(&mut self) -> u64 {
+        let mut hits = 0;
+        for _ in 0..SAMPLES_PER_ROUND {
+            let x = self.rng.gen_f64();
+            let y = self.rng.gen_f64();
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+impl RankProgram for PiRank {
+    fn next_op(&mut self, rank: u32, _n: u32, last: Option<OpResult>) -> Option<Op> {
+        if let Some(OpResult::AllReduceSum { values }) = last {
+            self.totals.push((values[0], values[1]));
+            if rank == 0 {
+                let pi = 4.0 * values[0] as f64 / values[1] as f64;
+                println!("  round {}: pi ~= {pi:.5}", self.round);
+            }
+        }
+        if self.round == ROUNDS {
+            return None;
+        }
+        if !self.issued {
+            // One barrier up front keeps the ranks' collectives aligned.
+            self.issued = true;
+            return Some(Op::Barrier);
+        }
+        self.round += 1;
+        let hits = self.sample();
+        Some(Op::AllReduceSum {
+            values: vec![hits, SAMPLES_PER_ROUND],
+        })
+    }
+}
+
+fn main() {
+    let mut h = MpiHarness::star(RANKS, WorldConfig::ftgm());
+    let ft = FtSystem::install(&mut h.world);
+    h.spawn_all(4096, |rank| {
+        Box::new(PiRank {
+            rng: SimRng::new(0xC0FFEE + rank as u64),
+            round: 0,
+            issued: false,
+            totals: Vec::new(),
+        })
+    });
+
+    println!("6-rank Monte-Carlo pi over simulated Myrinet/FTGM:");
+    h.world.run_for(SimDuration::from_us(300));
+    ft.inject_forced_hang(&mut h.world, NodeId(4));
+    println!("  *** upset: rank 4's NIC hung mid-job ***");
+    h.world.run_for(SimDuration::from_secs(4));
+
+    assert!(h.all_done(), "job finished: {:?}", h.state.borrow());
+    assert_eq!(h.state.borrow().fatal_errors, 0, "MPI saw no errors");
+    assert_eq!(ft.recoveries(NodeId(4)), 1);
+    let finish = h
+        .state
+        .borrow()
+        .finished
+        .iter()
+        .map(|(_, t)| *t)
+        .max()
+        .unwrap();
+    println!(
+        "\njob completed at t = {:.3} s (including one ~1.7 s transparent recovery);\n\
+         the middleware and the application code never mentioned faults.",
+        finish.as_secs_f64()
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: two machines, validated traffic, one network-processor
+//! hang, one transparent recovery.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's testbed (two hosts on one 8-port switch), runs FTGM
+//! with the watchdog + FTD installed, streams checksummed messages, then
+//! hangs the receiver's LANai the way a cosmic-ray bit flip would. The
+//! application code below never mentions faults — recovery is entirely the
+//! library's business, which is the paper's headline property.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ftgm_core::{FtSystem, RecoveryReport};
+use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
+use ftgm_gm::{World, WorldConfig};
+use ftgm_net::NodeId;
+use ftgm_sim::SimDuration;
+
+fn main() {
+    // The paper's testbed: two hosts, one M3M-SW8-class switch.
+    let mut config = WorldConfig::ftgm();
+    config.trace = true; // record the recovery timeline
+    let mut world = World::two_node(config);
+
+    // Install the paper's fault-tolerance stack: IT1 watchdog wiring, the
+    // FTD daemon on every host, and the transparent FAULT_DETECTED handler.
+    let ft = FtSystem::install(&mut world);
+
+    // Ordinary GM applications: a sender streaming validated messages and
+    // a receiver checking every byte. Neither knows faults exist.
+    let stats = Rc::new(RefCell::new(TrafficStats::default()));
+    world.spawn_app(
+        NodeId(1),
+        2,
+        Box::new(PatternReceiver::new(512, 16, stats.clone())),
+    );
+    world.spawn_app(
+        NodeId(0),
+        0,
+        Box::new(PatternSender::new(NodeId(1), 2, 256, 8, None, stats.clone())),
+    );
+
+    // Let traffic flow for 50 simulated milliseconds…
+    world.run_for(SimDuration::from_ms(50));
+    println!("before fault : {:?}", stats.borrow());
+
+    // …then a "cosmic ray" hangs the receiver's network processor.
+    ft.inject_forced_hang(&mut world, NodeId(1));
+    println!("\n*** network processor of node1 hung ***\n");
+
+    // Run on: the watchdog fires, the FTD reloads the MCP, the library
+    // replays the backed-up tokens, traffic resumes.
+    world.run_for(SimDuration::from_secs(3));
+
+    println!("after recovery: {:?}", stats.borrow());
+    println!("\nrecovery timeline:\n{}", world.trace.render());
+
+    let report = RecoveryReport::from_trace(&world.trace).expect("one recovery");
+    println!(
+        "detected in {:.0} us, full service back in {:.2} s (paper: <1ms, <2s)",
+        report.detection().as_micros_f64(),
+        report.total().as_secs_f64()
+    );
+    let s = stats.borrow();
+    assert!(s.clean(), "delivery guarantees held across the failure");
+    assert_eq!(ft.recoveries(NodeId(1)), 1);
+    println!(
+        "\n{} messages delivered exactly-once, zero corruption, zero duplicates.",
+        s.received_ok
+    );
+}

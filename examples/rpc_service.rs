@@ -1,0 +1,64 @@
+//! An RPC service surviving a network-processor hang: availability from
+//! the client's point of view.
+//!
+//! ```text
+//! cargo run --release --example rpc_service
+//! ```
+//!
+//! A closed-loop client hammers an echo server with 128-byte RPCs. At
+//! t = 100 ms the server's LANai takes a transient upset. FTGM detects,
+//! reloads and replays; the client — which knows nothing about any of it —
+//! sees exactly one slow RPC (the one in flight across the ~1.7 s
+//! recovery) and a service that never returns a wrong answer.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ftgm_core::FtSystem;
+use ftgm_gm::apps::{RpcClient, RpcServer, RpcStats};
+use ftgm_gm::{World, WorldConfig};
+use ftgm_net::NodeId;
+use ftgm_sim::SimDuration;
+
+fn main() {
+    let mut config = WorldConfig::ftgm();
+    config.trace = true;
+    let mut world = World::two_node(config);
+    let ft = FtSystem::install(&mut world);
+
+    let stats = Rc::new(RefCell::new(RpcStats::default()));
+    world.spawn_app(NodeId(1), 2, Box::new(RpcServer::new(4096)));
+    world.spawn_app(
+        NodeId(0),
+        0,
+        Box::new(RpcClient::new(NodeId(1), 2, 128, stats.clone())),
+    );
+
+    world.run_for(SimDuration::from_ms(100));
+    let before = stats.borrow().latencies.len();
+    ft.inject_forced_hang(&mut world, NodeId(1));
+    println!("t=100ms: server NIC hung ({before} RPCs completed so far)");
+    world.run_for(SimDuration::from_ms(2_900));
+
+    let s = stats.borrow();
+    let p50 = s.quantile(0.50).unwrap();
+    let p99 = s.quantile(0.99).unwrap();
+    let max = s.max().unwrap();
+    println!("\nclient-observed service quality over 3 s (one upset):");
+    println!("  RPCs completed : {}", s.latencies.len());
+    println!("  wrong answers  : {}", s.bad_responses);
+    println!("  p50 latency    : {:>10.1} us", p50.as_micros_f64());
+    println!("  p99 latency    : {:>10.1} us", p99.as_micros_f64());
+    println!(
+        "  worst latency  : {:>10.1} us  (the one RPC that spanned the recovery)",
+        max.as_micros_f64()
+    );
+    assert_eq!(s.bad_responses, 0);
+    assert_eq!(ft.recoveries(NodeId(1)), 1);
+    assert!(max.as_secs_f64() > 1.0, "one request rode the outage");
+    assert!(p99.as_micros_f64() < 100.0, "the rest never noticed");
+    println!(
+        "\nexactly one request stretched across the outage; every other RPC ran at\n\
+         normal latency — the paper's availability story from a client's seat."
+    );
+}

@@ -1,0 +1,83 @@
+//! A spaceborne telemetry stream under repeated transient upsets.
+//!
+//! ```text
+//! cargo run --release --example telemetry_stream
+//! ```
+//!
+//! The paper motivates FTGM with space applications (the NASA REE
+//! supercomputer): cosmic rays flip bits in the network processor and the
+//! machine must keep its availability anyway. This example runs a
+//! ten-simulated-second telemetry feed — an instrument node streaming
+//! validated frames to a recorder node — while the instrument's LANai is
+//! hit by an upset every ~2.5 s (far harsher than reality). It reports the
+//! feed's delivered-frame availability and verifies exactly-once delivery
+//! across every recovery.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ftgm_core::FtSystem;
+use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
+use ftgm_gm::{World, WorldConfig};
+use ftgm_net::NodeId;
+use ftgm_sim::SimDuration;
+
+const INSTRUMENT: NodeId = NodeId(0);
+const RECORDER: NodeId = NodeId(1);
+const FRAME: u32 = 1024;
+
+fn main() {
+    let mut config = WorldConfig::ftgm();
+    config.trace = true;
+    let mut world = World::two_node(config);
+    let ft = FtSystem::install(&mut world);
+
+    let stats = Rc::new(RefCell::new(TrafficStats::default()));
+    world.spawn_app(
+        RECORDER,
+        2,
+        Box::new(PatternReceiver::new(FRAME * 2, 16, stats.clone())),
+    );
+    world.spawn_app(
+        INSTRUMENT,
+        0,
+        Box::new(PatternSender::new(RECORDER, 2, FRAME, 8, None, stats.clone())),
+    );
+
+    // Ten seconds of mission time with an upset every ~2.5 s.
+    let mut samples: Vec<(f64, u64)> = Vec::new();
+    let upsets = [2_500u64, 5_000, 7_500];
+    let mut next_upset = 0;
+    for tick in 1..=100u64 {
+        world.run_for(SimDuration::from_ms(100));
+        if next_upset < upsets.len() && tick * 100 >= upsets[next_upset] {
+            ft.inject_forced_hang(&mut world, INSTRUMENT);
+            println!("t={:>5} ms: upset! instrument NIC hung", tick * 100);
+            next_upset += 1;
+        }
+        samples.push((tick as f64 * 0.1, stats.borrow().received_ok));
+    }
+
+    // Availability: fraction of 100ms intervals in which frames arrived.
+    let mut live_intervals = 0;
+    for pair in samples.windows(2) {
+        if pair[1].1 > pair[0].1 {
+            live_intervals += 1;
+        }
+    }
+    let availability = live_intervals as f64 / (samples.len() - 1) as f64;
+
+    let s = stats.borrow();
+    println!("\nmission summary (10 simulated seconds):");
+    println!("  frames delivered : {}", s.received_ok);
+    println!("  upsets           : {}", upsets.len());
+    println!("  recoveries       : {}", ft.recoveries(INSTRUMENT));
+    println!("  feed availability: {:.1}% of 100 ms intervals", availability * 100.0);
+    println!("  corruption       : {}", s.received_corrupt);
+    println!("  duplicates/loss  : {} / {}", s.misordered, s.completed.saturating_sub(s.received_ok));
+
+    assert_eq!(ft.recoveries(INSTRUMENT), upsets.len() as u64);
+    assert!(s.clean(), "telemetry integrity held: {s:?}");
+    assert!(availability > 0.4, "feed mostly alive despite 3 upsets");
+    println!("\nevery upset detected, every recovery transparent, no frame corrupted.");
+}

@@ -1,0 +1,186 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants.
+
+use proptest::prelude::*;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
+use ftgm_gm::{World, WorldConfig};
+use ftgm_lanai::isa::{Instr, Opcode};
+use ftgm_mcp::packet::{build_data_frame, flags, Header};
+use ftgm_net::fabric::LinkFaults;
+use ftgm_net::{Endpoint, Fabric, FabricParams, Mapper, NodeId, Topology};
+use ftgm_sim::{SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Any 32-bit word that decodes re-encodes to exactly itself: the
+    /// decoder loses no bits, so fault injection works on a faithful
+    /// representation.
+    #[test]
+    fn isa_decode_encode_roundtrip(word in any::<u32>()) {
+        if let Some(instr) = Instr::decode(word) {
+            prop_assert_eq!(instr.encode(), word);
+        }
+    }
+
+    /// Single-bit corruption of any opcode field always decodes to an
+    /// undefined instruction (the even-parity opcode layout).
+    #[test]
+    fn opcode_neighbors_invalid(op_idx in 0usize..27, bit in 0u8..6) {
+        let op = Opcode::ALL[op_idx];
+        prop_assert_eq!(Opcode::from_bits(op.bits() ^ (1 << bit)), None);
+    }
+
+    /// Any single-bit flip anywhere in a data frame is caught by the
+    /// packet's validation (header checksum, payload checksum, or
+    /// structure check).
+    #[test]
+    fn any_single_bitflip_is_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..300),
+        seq in any::<u32>(),
+        bit_sel in any::<u64>(),
+    ) {
+        let frame = build_data_frame(
+            NodeId(3), 1, 2, seq, payload.len() as u32, 0,
+            flags::LAST_CHUNK, &payload,
+        );
+        prop_assert!(Header::parse(&frame).is_ok());
+        let mut corrupt = frame.clone();
+        let bit = (bit_sel % (frame.len() as u64 * 8)) as usize;
+        corrupt[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(Header::parse(&corrupt).is_err());
+    }
+
+    /// The mapper's routes always deliver to their destination, on every
+    /// randomly-shaped star/chain topology.
+    #[test]
+    fn mapper_routes_always_deliver(
+        hosts_per_switch in 1usize..4,
+        switches in 1usize..4,
+        payload_len in 1usize..256,
+    ) {
+        let topo = Topology::switch_chain(switches, hosts_per_switch);
+        let tables = Mapper::map(&topo);
+        let mut fabric = Fabric::new(topo.clone(), FabricParams::default());
+        for s in 0..topo.node_count() {
+            for (dst, route) in tables[s].iter() {
+                let d = fabric
+                    .inject(SimTime::ZERO, NodeId(s as u16), route, vec![0x5A; payload_len])
+                    .expect("mapper route must deliver");
+                prop_assert_eq!(d.dst, *dst);
+            }
+        }
+    }
+
+    /// A randomly-cabled single switch: routes exist exactly for cabled
+    /// hosts, never for uncabled ones.
+    #[test]
+    fn mapper_reachability_matches_cabling(cabled in proptest::collection::vec(any::<bool>(), 2..8)) {
+        let n = cabled.len();
+        let mut b = Topology::builder();
+        b.add_nodes(n);
+        let sw = b.add_switch(8);
+        for (i, &c) in cabled.iter().enumerate() {
+            if c {
+                b.connect(
+                    Endpoint::Nic(NodeId(i as u16)),
+                    Endpoint::SwitchPort { switch: sw, port: i as u8 },
+                );
+            }
+        }
+        let topo = b.build();
+        let tables = Mapper::map(&topo);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j { continue; }
+                let reachable = tables[i].route(NodeId(j as u16)).is_some();
+                prop_assert_eq!(reachable, cabled[i] && cabled[j]);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Go-Back-N delivers exactly-once, in order, under arbitrary
+    /// drop/corrupt schedules — GM's transparent handling of transient
+    /// network errors.
+    #[test]
+    fn gobackn_exactly_once_under_random_loss(
+        drop in 0.0f64..0.25,
+        corrupt in 0.0f64..0.15,
+        seed in any::<u64>(),
+        ftgm in any::<bool>(),
+    ) {
+        let config = if ftgm { WorldConfig::ftgm() } else { WorldConfig::gm() };
+        let mut w = World::two_node(config);
+        w.fabric.set_faults(Some(LinkFaults {
+            drop_prob: drop,
+            corrupt_prob: corrupt,
+            rng: SimRng::new(seed),
+        }));
+        let stats = Rc::new(RefCell::new(TrafficStats::default()));
+        w.spawn_app(
+            NodeId(1),
+            2,
+            Box::new(PatternReceiver::new(512, 16, stats.clone())),
+        );
+        w.spawn_app(
+            NodeId(0),
+            0,
+            Box::new(PatternSender::new(NodeId(1), 2, 256, 4, Some(60), stats.clone())),
+        );
+        w.run_for(SimDuration::from_secs(8));
+        let s = stats.borrow();
+        prop_assert_eq!(s.received_ok, 60, "delivered: {:?}", s);
+        prop_assert_eq!(s.completed, 60, "completed: {:?}", s);
+        prop_assert!(s.clean(), "violations: {:?}", s);
+    }
+
+    /// FTGM's host backup always mirrors the tokens the LANai holds: at
+    /// any quiescent point, outstanding backup copies = messages posted
+    /// but not yet completed.
+    #[test]
+    fn backup_mirrors_outstanding_tokens(
+        count in 1u64..60,
+        size in 64u32..4000,
+        run_ms in 1u64..30,
+    ) {
+        let mut w = World::two_node(WorldConfig::ftgm());
+        let stats = Rc::new(RefCell::new(TrafficStats::default()));
+        w.spawn_app(
+            NodeId(1),
+            2,
+            Box::new(PatternReceiver::new(8192, 16, stats.clone())),
+        );
+        w.spawn_app(
+            NodeId(0),
+            0,
+            Box::new(PatternSender::new(NodeId(1), 2, size, 4, Some(count), stats.clone())),
+        );
+        // Cut the run at an arbitrary (possibly mid-flight) instant.
+        w.run_for(SimDuration::from_ms(run_ms));
+        {
+            let s = stats.borrow();
+            let hp = w.nodes[0].ports[0].as_ref().unwrap();
+            let outstanding = s.sent - s.completed - s.send_errors;
+            prop_assert_eq!(
+                hp.backup.sends_outstanding() as u64,
+                outstanding,
+                "mid-flight mismatch: {:?}", s
+            );
+        }
+        // And after quiescence everything returns.
+        w.run_for(SimDuration::from_secs(2));
+        let s = stats.borrow();
+        let hp = w.nodes[0].ports[0].as_ref().unwrap();
+        prop_assert_eq!(s.completed, count);
+        prop_assert_eq!(hp.backup.sends_outstanding(), 0);
+        // The receiver's ACK table knows the final message's sequence.
+        let hp1 = w.nodes[1].ports[2].as_ref().unwrap();
+        prop_assert_eq!(hp1.backup.expected_seqs().len(), 1);
+    }
+}
