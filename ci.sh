@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 gate: build, test, and lint the workspace.
+#
+# The lint step uses --deny-new so CI fails both on new rule violations
+# and on a stale baseline (violations fixed but not removed from the
+# ledger). See docs/STATIC_ANALYSIS.md.
+set -eu
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo run -q -p ftgm-lint -- --deny-new --quiet

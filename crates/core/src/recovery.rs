@@ -68,12 +68,15 @@ pub fn restore_port_state(world: &mut World, node: NodeId, port: u8) -> RestoreS
 
     // 3. Restore per-stream expected sequence numbers before any data can
     //    arrive, so the LANai ACKs/NACKs correctly from the first packet.
-    let expected: Vec<(NodeId, u8, bool, u32)> = {
-        let hp = world.nodes[n].ports[port as usize]
-            .as_ref()
-            .expect("checked above");
-        hp.backup.expected_seqs()
-    };
+    //
+    // The port was present at the top of the function, but this handler
+    // must never panic (it IS the recovery path), so each borrow
+    // re-checks and bails out with whatever was restored so far.
+    let expected: Vec<(NodeId, u8, bool, u32)> =
+        match world.nodes[n].ports[port as usize].as_ref() {
+            Some(hp) => hp.backup.expected_seqs(),
+            None => return summary,
+        };
     for (src_node, src_port, prio_high, next) in expected {
         world.nodes[n].mcp.restore_receiver_stream(
             StreamKey::per_port(src_node, src_port, prio_high),
@@ -83,11 +86,9 @@ pub fn restore_port_state(world: &mut World, node: NodeId, port: u8) -> RestoreS
     }
 
     // 2a. Replay receive tokens (unfilled pinned buffers).
-    let recvs = {
-        let hp = world.nodes[n].ports[port as usize]
-            .as_ref()
-            .expect("checked above");
-        hp.backup.outstanding_recvs()
+    let recvs = match world.nodes[n].ports[port as usize].as_ref() {
+        Some(hp) => hp.backup.outstanding_recvs(),
+        None => return summary,
     };
     for copy in recvs {
         world.nodes[n].mcp.post_recv_token(
@@ -106,11 +107,9 @@ pub fn restore_port_state(world: &mut World, node: NodeId, port: u8) -> RestoreS
     //     their original sequence numbers — the receiver's restored (or
     //     never-lost) expected counters ACK the right ones and drop
     //     duplicates.
-    let sends = {
-        let hp = world.nodes[n].ports[port as usize]
-            .as_ref()
-            .expect("checked above");
-        hp.backup.outstanding_sends()
+    let sends = match world.nodes[n].ports[port as usize].as_ref() {
+        Some(hp) => hp.backup.outstanding_sends(),
+        None => return summary,
     };
     for copy in sends {
         world.nodes[n].mcp.post_send(SendDesc {

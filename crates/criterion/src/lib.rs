@@ -1,0 +1,140 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Offline builds cannot fetch the real `criterion`; this shim keeps
+//! `crates/bench/benches/paper_benches.rs` compiling and producing useful
+//! numbers. It implements `Criterion::bench_function`, benchmark groups,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros. Reporting is a median
+//! ns/iter line per benchmark — no statistics, plots, or baselines.
+
+use std::time::Instant;
+
+/// How much setup output to batch per timing measurement. The shim times
+/// each batch individually, so the variants behave identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` over several sample batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        std::hint::black_box(routine());
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..ITERS_PER_SAMPLE {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / ITERS_PER_SAMPLE as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+const SAMPLES: usize = 10;
+const ITERS_PER_SAMPLE: usize = 3;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.median_ns());
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.prefix, name), b.median_ns());
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, median_ns: f64) {
+    if median_ns >= 1_000_000.0 {
+        println!("bench {name:<40} {:>12.3} ms/iter", median_ns / 1_000_000.0);
+    } else {
+        println!("bench {name:<40} {median_ns:>12.0} ns/iter");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,14 +1,13 @@
 //! Fault-injection campaigns: many runs, aggregated like Table 1.
 //!
 //! Each run owns a private simulation world, so runs parallelize across OS
-//! threads with `crossbeam::scope`; a shared atomic cursor hands out run
+//! threads with `std::thread::scope`; a shared atomic cursor hands out run
 //! indices and the per-run seed is `campaign_seed + index`, making the
 //! whole campaign reproducible regardless of thread count.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::classify::Outcome;
 use crate::inject::{run_one, RunConfig, RunResult};
@@ -72,22 +71,22 @@ pub fn run_campaign(config: &RunConfig, seed: u64, runs: u64, threads: usize) ->
     let cursor = AtomicU64::new(0);
     let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; runs as usize]);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= runs {
                     break;
                 }
                 let result = run_one(config, seed.wrapping_add(i));
-                results.lock()[i as usize] = Some(result);
+                results.lock().expect("campaign results lock poisoned")[i as usize] = Some(result);
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
     let runs_vec: Vec<RunResult> = results
         .into_inner()
+        .expect("campaign results lock poisoned")
         .into_iter()
         .map(|r| r.expect("all runs completed"))
         .collect();

@@ -21,7 +21,7 @@
 //! (callback / receive event). Everything here is plain host data — the
 //! whole point is that it survives a card reset.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ftgm_net::NodeId;
 
@@ -62,14 +62,14 @@ pub struct RecvTokenCopy {
 /// Per-port backup state (≈20 KB of extra process memory in the paper).
 #[derive(Clone, Debug, Default)]
 pub struct PortBackup {
-    send_tokens: HashMap<u64, SendTokenCopy>,
-    recv_tokens: HashMap<u64, RecvTokenCopy>,
+    send_tokens: BTreeMap<u64, SendTokenCopy>,
+    recv_tokens: BTreeMap<u64, RecvTokenCopy>,
     /// Outgoing per-(remote node, priority) sequence counters for this
     /// port.
-    next_seq: HashMap<(NodeId, bool), u32>,
+    next_seq: BTreeMap<(NodeId, bool), u32>,
     /// Incoming ACK table: last sequence acknowledged per
     /// (remote node, remote port, priority) stream.
-    ack_table: HashMap<(NodeId, u8, bool), u32>,
+    ack_table: BTreeMap<(NodeId, u8, bool), u32>,
 }
 
 impl PortBackup {

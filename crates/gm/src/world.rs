@@ -19,7 +19,7 @@
 //! `FAULT_DETECTED` handler) is installed by `ftgm-core` through
 //! [`Hooks`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use ftgm_host::{CpuCost, DmaRegion, HostSystem, PciParams};
@@ -165,9 +165,9 @@ pub struct HostPort {
     next_token: u64,
     /// FTGM backup state (maintained only under the FTGM variant).
     pub backup: PortBackup,
-    send_bufs: HashMap<u64, DmaRegion>,
-    recv_bufs: HashMap<u64, DmaRegion>,
-    free_bufs: HashMap<u32, Vec<DmaRegion>>,
+    send_bufs: BTreeMap<u64, DmaRegion>,
+    recv_bufs: BTreeMap<u64, DmaRegion>,
+    free_bufs: BTreeMap<u32, Vec<DmaRegion>>,
 }
 
 impl HostPort {
@@ -180,9 +180,9 @@ impl HostPort {
             // MCP's token maps never collide across ports.
             next_token: ((port as u64 + 1) << 48) | 1,
             backup: PortBackup::new(),
-            send_bufs: HashMap::new(),
-            recv_bufs: HashMap::new(),
-            free_bufs: HashMap::new(),
+            send_bufs: BTreeMap::new(),
+            recv_bufs: BTreeMap::new(),
+            free_bufs: BTreeMap::new(),
         }
     }
 }

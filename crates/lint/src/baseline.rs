@@ -1,0 +1,220 @@
+//! The baseline mechanism: a checked-in ledger of pre-existing
+//! violations, so the lint gate can demand "no *new* findings" without
+//! requiring the whole backlog to be fixed in one PR.
+//!
+//! Entries are keyed on `(rule, file, trimmed snippet)` rather than line
+//! numbers, so unrelated edits that shift lines do not invalidate the
+//! baseline, while *editing the offending line itself* surfaces the
+//! violation again. A `count` field covers identical snippets (e.g. the
+//! same `use` line or two occurrences on one line).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::{self, Value};
+use crate::Finding;
+
+/// One baseline entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub snippet: String,
+    pub count: u64,
+}
+
+/// The parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+/// Result of reconciling current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings not covered by the baseline (these fail the gate).
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline (reported, but don't fail).
+    pub baselined: Vec<Finding>,
+    /// Baseline entries with fewer matching findings than `count` —
+    /// the violation was fixed and the ledger is stale.
+    pub stale: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::default());
+            }
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the JSON baseline format (the same shape `render` emits).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = json::parse(text)?;
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or("baseline must be an object with an \"entries\" array")?;
+        let mut out = Vec::new();
+        for e in entries {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("baseline entry missing string field \"{k}\""))
+            };
+            out.push(Entry {
+                rule: field("rule")?,
+                file: field("file")?,
+                snippet: field("snippet")?,
+                count: e.get("count").and_then(Value::as_u64).unwrap_or(1),
+            });
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Renders the baseline as pretty JSON (stable entry order).
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| {
+            (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet))
+        });
+        let mut out = String::from("{\n  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"snippet\": \"{}\"}}{}\n",
+                json::escape(&e.rule),
+                json::escape(&e.file),
+                e.count,
+                json::escape(&e.snippet),
+                if i + 1 < entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Builds a baseline that covers exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.to_string(), f.file.clone(), f.snippet.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((rule, file, snippet), count)| Entry {
+                    rule,
+                    file,
+                    snippet,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Splits findings into new vs baselined, and reports stale entries.
+    pub fn diff(&self, findings: &[Finding]) -> Diff {
+        let mut budget: BTreeMap<(&str, &str, &str), u64> = BTreeMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.rule.as_str(), e.file.as_str(), e.snippet.as_str()))
+                .or_insert(0) += e.count;
+        }
+        let mut diff = Diff::default();
+        for f in findings {
+            let key = (f.rule, f.file.as_str(), f.snippet.as_str());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    diff.baselined.push(f.clone());
+                }
+                _ => diff.new.push(f.clone()),
+            }
+        }
+        for ((rule, file, snippet), left) in budget {
+            if left > 0 {
+                diff.stale.push(Entry {
+                    rule: rule.to_string(),
+                    file: file.to_string(),
+                    snippet: snippet.to_string(),
+                    count: left,
+                });
+            }
+        }
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = Baseline::from_findings(&[
+            finding("determinism", "a.rs", "use HashMap;"),
+            finding("determinism", "a.rs", "use HashMap;"),
+            finding("seqnum-discipline", "b.rs", "x.seq = 1; // \"quoted\""),
+        ]);
+        let rendered = b.render();
+        let reparsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(reparsed.entries, b.entries);
+        assert_eq!(reparsed.entries[0].count, 2);
+    }
+
+    #[test]
+    fn diff_splits_new_baselined_stale() {
+        let b = Baseline::from_findings(&[
+            finding("determinism", "a.rs", "old"),
+            finding("determinism", "a.rs", "fixed-since"),
+        ]);
+        let current = [
+            finding("determinism", "a.rs", "old"),
+            finding("determinism", "a.rs", "brand-new"),
+        ];
+        let d = b.diff(&current);
+        assert_eq!(d.baselined.len(), 1);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].snippet, "brand-new");
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].snippet, "fixed-since");
+    }
+
+    #[test]
+    fn count_budget_is_respected() {
+        let b = Baseline::from_findings(&[finding("determinism", "a.rs", "dup")]);
+        let current = [
+            finding("determinism", "a.rs", "dup"),
+            finding("determinism", "a.rs", "dup"),
+        ];
+        let d = b.diff(&current);
+        assert_eq!(d.baselined.len(), 1, "only one covered");
+        assert_eq!(d.new.len(), 1, "second occurrence is new");
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/baseline.json")).unwrap();
+        assert!(b.entries.is_empty());
+    }
+}

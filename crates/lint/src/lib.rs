@@ -1,0 +1,186 @@
+//! `ftgm-lint` — workspace-wide invariant checker for recovery-safety
+//! and simulation determinism.
+//!
+//! The FTGM reproduction's value rests on two properties the type system
+//! cannot express:
+//!
+//! 1. **the recovery path itself never fails** (DSN 2003's whole premise
+//!    — a panic in the `FAULT_DETECTED` handler or the FTD turns a
+//!    recoverable hang into a process crash), and
+//! 2. **fault campaigns are deterministic** (identical seeds must replay
+//!    identical runs, or Table 1 stops being reproducible).
+//!
+//! This crate enforces both with a hand-rolled line/token scanner (the
+//! build environment is offline — no `syn`) over the workspace sources.
+//! See `docs/STATIC_ANALYSIS.md` for the rule catalogue, and the
+//! `ftgm-lint` binary for the CLI. Suppression: an inline
+//! `// lint:allow(<rule>)` on (or immediately above) the offending line,
+//! or an entry in the checked-in baseline (`crates/lint/baseline.json`).
+
+pub mod baseline;
+pub mod json;
+pub mod rules;
+pub mod strip;
+
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`rules::ALL_RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (byte offset into the line).
+    pub col: usize,
+    /// The offending line, trimmed (the baseline key).
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line:col: rule: message` — the human-readable form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}\n    {}",
+            self.file, self.line, self.col, self.rule, self.message, self.snippet
+        )
+    }
+
+    /// JSON object form (one element of the report's `findings` array).
+    pub fn render_json(&self, baselined: bool) -> String {
+        format!(
+            "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"baselined\": {}, \"snippet\": \"{}\", \"message\": \"{}\"}}",
+            json::escape(self.rule),
+            json::escape(&self.file),
+            self.line,
+            self.col,
+            baselined,
+            json::escape(&self.snippet),
+            json::escape(&self.message),
+        )
+    }
+}
+
+/// Scans one file's content as if it lived at `rel` (forward-slash,
+/// repo-relative). This is the engine's core entry point; the fixture
+/// tests drive it directly.
+pub fn scan_file_content(rel: &str, content: &str) -> Vec<Finding> {
+    rules::scan(rel, &strip::FileView::new(content))
+}
+
+/// Walks `root/crates/*/src` and scans every `.rs` file. Findings are
+/// sorted by (file, line, col, rule) so output is stable.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let crate_entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = crate_entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut |path| {
+                let rel = rel_path(root, path);
+                let content = std::fs::read_to_string(path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                findings.extend(scan_file_content(&rel, &content));
+                Ok(())
+            })?;
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}
+
+fn walk_rs(
+    dir: &Path,
+    visit: &mut dyn FnMut(&Path) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk_rs(&path, visit)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            visit(&path)?;
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when built in-tree,
+/// else the current directory.
+pub fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Default baseline location relative to a workspace root.
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("crates/lint/baseline.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_file_content_applies_rules_by_path() {
+        let bad = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        assert_eq!(scan_file_content("crates/core/src/recovery.rs", bad).len(), 1);
+        assert!(scan_file_content("crates/host/src/driver.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn findings_render_stable_json() {
+        let f = Finding {
+            rule: "determinism",
+            file: "crates/sim/src/x.rs".to_string(),
+            line: 3,
+            col: 7,
+            snippet: "use std::collections::HashMap;".to_string(),
+            message: "msg with \"quotes\"".to_string(),
+        };
+        let j = f.render_json(true);
+        let parsed = json::parse(&j).expect("valid JSON");
+        assert_eq!(parsed.get("line").and_then(json::Value::as_u64), Some(3));
+        assert_eq!(
+            parsed.get("message").and_then(json::Value::as_str),
+            Some("msg with \"quotes\"")
+        );
+    }
+
+    #[test]
+    fn default_root_is_the_workspace() {
+        assert!(default_root().join("Cargo.toml").exists());
+    }
+}

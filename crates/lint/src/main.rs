@@ -1,0 +1,199 @@
+//! CLI for `ftgm-lint`.
+//!
+//! ```text
+//! cargo run -p ftgm-lint                  # human-readable report
+//! cargo run -p ftgm-lint -- --json       # machine-readable report
+//! cargo run -p ftgm-lint -- --deny-new   # CI gate: also fail on stale baseline
+//! cargo run -p ftgm-lint -- --write-baseline   # regenerate the baseline
+//! ```
+//!
+//! Exit codes: 0 = clean (new findings: none; with `--deny-new` also no
+//! stale baseline entries), 1 = violations, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftgm_lint::baseline::Baseline;
+use ftgm_lint::{baseline_path, default_root, rules, scan_workspace};
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    deny_new: bool,
+    write_baseline: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: default_root(),
+        baseline: None,
+        json: false,
+        deny_new: false,
+        write_baseline: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-new" => opts.deny_new = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--root" => {
+                opts.root = PathBuf::from(
+                    args.next().ok_or("--root requires a path argument")?,
+                );
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline requires a path argument")?,
+                ));
+            }
+            "--rules" => {
+                for r in rules::ALL_RULES {
+                    println!("{r}: {}", rules::describe(r));
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other} (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_help() {
+    println!(
+        "ftgm-lint: FTGM invariant checker (recovery-safety + determinism)\n\
+         \n\
+         USAGE: ftgm-lint [--json] [--deny-new] [--write-baseline] [--quiet]\n\
+         \x20                [--root DIR] [--baseline FILE] [--rules]\n\
+         \n\
+         --json            emit a JSON report on stdout\n\
+         --deny-new        CI gate: exit 1 on new findings OR stale baseline entries\n\
+         --write-baseline  rewrite the baseline to cover all current findings\n\
+         --quiet           suppress baselined findings in human output\n\
+         --root DIR        workspace root (default: this checkout)\n\
+         --baseline FILE   baseline path (default: <root>/crates/lint/baseline.json)\n\
+         --rules           list rules and exit\n\
+         \n\
+         Inline suppression: `// lint:allow(<rule>)` on or above the line.\n\
+         See docs/STATIC_ANALYSIS.md."
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ftgm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_file = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| baseline_path(&opts.root));
+
+    let findings = match scan_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ftgm-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.write_baseline {
+        let b = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&baseline_file, b.render()) {
+            eprintln!("ftgm-lint: cannot write {}: {e}", baseline_file.display());
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            println!(
+                "wrote {} ({} entries covering {} findings)",
+                baseline_file.display(),
+                b.entries.len(),
+                findings.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match Baseline::load(&baseline_file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("ftgm-lint: bad baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = baseline.diff(&findings);
+
+    if opts.json {
+        print_json(&diff);
+    } else {
+        print_human(&diff, opts.quiet);
+    }
+
+    let failed = !diff.new.is_empty() || (opts.deny_new && !diff.stale.is_empty());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_json(diff: &ftgm_lint::baseline::Diff) {
+    let mut items: Vec<String> = Vec::new();
+    items.extend(diff.new.iter().map(|f| f.render_json(false)));
+    items.extend(diff.baselined.iter().map(|f| f.render_json(true)));
+    let stale: Vec<String> = diff
+        .stale
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"snippet\": \"{}\"}}",
+                ftgm_lint::json::escape(&e.rule),
+                ftgm_lint::json::escape(&e.file),
+                e.count,
+                ftgm_lint::json::escape(&e.snippet)
+            )
+        })
+        .collect();
+    println!(
+        "{{\n  \"new_count\": {},\n  \"baselined_count\": {},\n  \"findings\": [\n    {}\n  ],\n  \"stale_baseline_entries\": [\n    {}\n  ]\n}}",
+        diff.new.len(),
+        diff.baselined.len(),
+        items.join(",\n    "),
+        stale.join(",\n    ")
+    );
+}
+
+fn print_human(diff: &ftgm_lint::baseline::Diff, quiet: bool) {
+    for f in &diff.new {
+        println!("{}", f.render());
+    }
+    if !quiet {
+        for f in &diff.baselined {
+            println!("{} (baselined)", f.render());
+        }
+    }
+    for e in &diff.stale {
+        println!(
+            "stale baseline entry ({}x): {} in {} — `{}` was fixed; run --write-baseline",
+            e.count, e.rule, e.file, e.snippet
+        );
+    }
+    println!(
+        "ftgm-lint: {} new, {} baselined, {} stale baseline entr{}",
+        diff.new.len(),
+        diff.baselined.len(),
+        diff.stale.len(),
+        if diff.stale.len() == 1 { "y" } else { "ies" }
+    );
+}

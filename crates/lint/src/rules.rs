@@ -1,0 +1,490 @@
+//! The FTGM invariant rules (R1–R5) and their matchers.
+//!
+//! Each rule is a set of per-line token matchers applied to the blanked
+//! "code view" ([`crate::strip::FileView`]) of the files it governs.
+//! Matchers are deliberately token-based, not AST-based: the build
+//! environment is offline, so the engine cannot depend on `syn`, and
+//! every invariant here is expressible as "token X (in context Y) must
+//! not appear in file set Z".
+
+use crate::strip::FileView;
+use crate::Finding;
+
+/// Rule names — these are the ids used by `lint:allow(...)` and the
+/// baseline file.
+pub const RECOVERY_NO_PANIC: &str = "recovery-no-panic";
+pub const DETERMINISM: &str = "determinism";
+pub const SEQNUM_DISCIPLINE: &str = "seqnum-discipline";
+pub const NO_WILDCARD_MATCH: &str = "no-wildcard-match";
+pub const NO_TRUNCATING_CAST: &str = "no-truncating-cast";
+
+/// All rule names, in report order.
+pub const ALL_RULES: [&str; 5] = [
+    RECOVERY_NO_PANIC,
+    DETERMINISM,
+    SEQNUM_DISCIPLINE,
+    NO_WILDCARD_MATCH,
+    NO_TRUNCATING_CAST,
+];
+
+/// R1: modules on the recovery path must be total — no panicking calls.
+const R1_FILES: [&str; 4] = [
+    "crates/core/src/recovery.rs",
+    "crates/core/src/ftd.rs",
+    "crates/gm/src/backup.rs",
+    "crates/mcp/src/gobackn.rs",
+];
+
+/// R2: crates whose code runs under (or feeds state into) the
+/// deterministic simulation.
+const R2_DIRS: [&str; 6] = [
+    "crates/sim/src/",
+    "crates/net/src/",
+    "crates/mcp/src/",
+    "crates/lanai/src/",
+    "crates/gm/src/",
+    "crates/faults/src/",
+];
+
+/// R3: the only modules allowed to assign sequence-number fields
+/// directly — `gobackn.rs` owns the MCP-side counters, `backup.rs` the
+/// host-side ones (the paper's §sequence-numbering split).
+const R3_ACCESSOR_MODULES: [&str; 2] = ["crates/mcp/src/gobackn.rs", "crates/gm/src/backup.rs"];
+
+/// Sequence-number field names R3 guards.
+const R3_FIELDS: [&str; 5] = ["next_seq", "cum_acked", "expected", "first_seq", "seq"];
+
+/// R4: matches over fault/event enums that must stay exhaustive.
+const R4_FILES: [&str; 2] = ["crates/faults/src/classify.rs", "crates/core/src/recovery.rs"];
+
+/// R5: wire-format modules where a silent truncation corrupts packets.
+const R5_FILES: [&str; 2] = ["crates/mcp/src/packet.rs", "crates/net/src/crc.rs"];
+
+/// One-line description per rule (for `--explain` style output and docs).
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        RECOVERY_NO_PANIC => {
+            "no unwrap/expect/panic!/todo!/unimplemented!/indexing-by-literal in recovery-critical modules"
+        }
+        DETERMINISM => {
+            "no wall-clock time, OS randomness, or hash-ordered collections in sim-visible crates"
+        }
+        SEQNUM_DISCIPLINE => {
+            "sequence-number fields are written only inside the designated accessor modules"
+        }
+        NO_WILDCARD_MATCH => "no `_ =>` arms in matches over fault/event enums",
+        NO_TRUNCATING_CAST => "no bare `as u8`/`as u16` casts in wire-format modules",
+        _ => "unknown rule",
+    }
+}
+
+/// Runs every applicable rule over one file. `rel` is the repo-relative
+/// path with forward slashes.
+pub fn scan(rel: &str, view: &FileView) -> Vec<Finding> {
+    // Test code, fixtures, benches and examples are out of scope: the
+    // rules guard production invariants.
+    if ["/tests/", "/benches/", "/examples/", "/fixtures/"]
+        .iter()
+        .any(|d| rel.contains(d))
+    {
+        return Vec::new();
+    }
+
+    let mut findings = Vec::new();
+    let r1 = R1_FILES.contains(&rel);
+    let r2 = R2_DIRS.iter().any(|d| rel.starts_with(d));
+    let r3 = rel.starts_with("crates/")
+        && rel.contains("/src/")
+        && !R3_ACCESSOR_MODULES.contains(&rel);
+    let r4 = R4_FILES.contains(&rel);
+    let r5 = R5_FILES.contains(&rel);
+    if !(r1 || r2 || r3 || r4 || r5) {
+        return findings;
+    }
+
+    let end = view.test_start.unwrap_or(view.code_lines.len());
+    for (idx, code) in view.code_lines[..end].iter().enumerate() {
+        let mut emit = |rule: &'static str, col: usize, message: String| {
+            if view.allows[idx].iter().any(|a| a == rule) {
+                return;
+            }
+            findings.push(Finding {
+                rule,
+                file: rel.to_string(),
+                line: idx + 1,
+                col: col + 1,
+                snippet: view.raw_lines[idx].trim().to_string(),
+                message,
+            });
+        };
+        if r1 {
+            match_r1(code, &mut emit);
+        }
+        if r2 {
+            match_r2(code, &mut emit);
+        }
+        if r3 {
+            match_r3(code, &mut emit);
+        }
+        if r4 {
+            match_r4(code, &mut emit);
+        }
+        if r5 {
+            match_r5(code, &mut emit);
+        }
+    }
+    findings
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets where `token` occurs with identifier boundaries.
+fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let b = code.as_bytes();
+    let t = token.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let i = start + pos;
+        let pre_ok = i == 0 || !is_ident(b[i - 1]);
+        let post = i + t.len();
+        let post_ok = post >= b.len() || !is_ident(b[post]);
+        if pre_ok && post_ok {
+            out.push(i);
+        }
+        start = i + 1;
+    }
+    out
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && (b[i] == b' ' || b[i] == b'\t') {
+        i += 1;
+    }
+    i
+}
+
+/// R1: panicking constructs on the recovery path.
+fn match_r1(code: &str, emit: &mut dyn FnMut(&'static str, usize, String)) {
+    let b = code.as_bytes();
+    for name in ["unwrap", "expect"] {
+        for pos in token_positions(code, name) {
+            let after = skip_ws(b, pos + name.len());
+            if after < b.len() && b[after] == b'(' {
+                emit(
+                    RECOVERY_NO_PANIC,
+                    pos,
+                    format!("`.{name}()` can panic on the recovery path; handle the None/Err case"),
+                );
+            }
+        }
+    }
+    for mac in ["panic", "todo", "unimplemented"] {
+        for pos in token_positions(code, mac) {
+            let after = skip_ws(b, pos + mac.len());
+            if after < b.len() && b[after] == b'!' {
+                emit(
+                    RECOVERY_NO_PANIC,
+                    pos,
+                    format!("`{mac}!` aborts recovery; return an error instead"),
+                );
+            }
+        }
+    }
+    // Indexing by integer literal: `xs[0]` panics if the shape assumption
+    // breaks. `xs[i]`, attributes `#[...]` and types `[u8; 4]` don't match.
+    for (i, &c) in b.iter().enumerate() {
+        if c != b'[' || i == 0 {
+            continue;
+        }
+        let prev = b[i - 1];
+        if !(is_ident(prev) || prev == b')' || prev == b']') {
+            continue;
+        }
+        if let Some(close) = code[i + 1..].find(']') {
+            let inner = &code[i + 1..i + 1 + close];
+            if !inner.is_empty() && inner.bytes().all(|x| x.is_ascii_digit() || x == b'_') {
+                emit(
+                    RECOVERY_NO_PANIC,
+                    i,
+                    format!("indexing by literal `[{inner}]` can panic; use .get({inner})"),
+                );
+            }
+        }
+    }
+}
+
+/// R2: nondeterminism sources in sim-visible crates.
+fn match_r2(code: &str, emit: &mut dyn FnMut(&'static str, usize, String)) {
+    let b = code.as_bytes();
+    for (coll, alt) in [("HashMap", "BTreeMap"), ("HashSet", "BTreeSet")] {
+        for pos in token_positions(code, coll) {
+            emit(
+                DETERMINISM,
+                pos,
+                format!("{coll} iteration order is hash-seeded; use {alt}"),
+            );
+        }
+    }
+    for pos in token_positions(code, "thread_rng") {
+        emit(
+            DETERMINISM,
+            pos,
+            "OS-seeded RNG breaks replay; use ftgm_sim::SimRng with an explicit seed".to_string(),
+        );
+    }
+    for ty in ["SystemTime", "Instant"] {
+        for pos in token_positions(code, ty) {
+            // Only `<ty> :: now` — mentioning the type (e.g. in FFI glue
+            // or conversions) is fine.
+            let mut i = skip_ws(b, pos + ty.len());
+            if i + 1 < b.len() && b[i] == b':' && b[i + 1] == b':' {
+                i = skip_ws(b, i + 2);
+                if code[i..].starts_with("now")
+                    && (i + 3 >= b.len() || !is_ident(b[i + 3]))
+                {
+                    emit(
+                        DETERMINISM,
+                        pos,
+                        format!("{ty}::now reads the wall clock; use the simulation clock"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// R3: direct writes to sequence-number fields outside accessor modules.
+fn match_r3(code: &str, emit: &mut dyn FnMut(&'static str, usize, String)) {
+    let b = code.as_bytes();
+    for field in R3_FIELDS {
+        for pos in token_positions(code, field) {
+            if pos == 0 || b[pos - 1] != b'.' {
+                continue; // not a field access
+            }
+            let i = skip_ws(b, pos + field.len());
+            if i >= b.len() {
+                continue;
+            }
+            // `.field = v` / `.field += v` etc. — but not `==`, `=>`.
+            let assigned = match b[i] {
+                b'=' => i + 1 >= b.len() || (b[i + 1] != b'=' && b[i + 1] != b'>'),
+                b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^' => {
+                    i + 1 < b.len() && b[i + 1] == b'='
+                }
+                _ => false,
+            };
+            if assigned {
+                emit(
+                    SEQNUM_DISCIPLINE,
+                    pos,
+                    format!(
+                        "direct write to sequence field `{field}`; route it through \
+                         gobackn.rs/backup.rs accessors so streams stay auditable"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// R4: wildcard arms in fault/event matches.
+fn match_r4(code: &str, emit: &mut dyn FnMut(&'static str, usize, String)) {
+    let trimmed = code.trim_start();
+    let col = code.len() - trimmed.len();
+    let after = trimmed.strip_prefix('_');
+    if let Some(rest) = after {
+        let rest = rest.trim_start();
+        if rest.starts_with("=>") || rest.starts_with("if ") {
+            emit(
+                NO_WILDCARD_MATCH,
+                col,
+                "wildcard `_ =>` arm: adding a fault/event kind must force a handling decision"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R5: bare truncating casts in wire-format code.
+fn match_r5(code: &str, emit: &mut dyn FnMut(&'static str, usize, String)) {
+    let b = code.as_bytes();
+    for pos in token_positions(code, "as") {
+        let i = skip_ws(b, pos + 2);
+        for ty in ["u8", "u16"] {
+            if code[i..].starts_with(ty) {
+                let end = i + ty.len();
+                if end >= b.len() || !is_ident(b[end]) {
+                    emit(
+                        NO_TRUNCATING_CAST,
+                        pos,
+                        format!(
+                            "bare `as {ty}` silently truncates; mask explicitly or use try_from"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(rel: &str, src: &str) -> Vec<Finding> {
+        scan(rel, &FileView::new(src))
+    }
+
+    #[test]
+    fn r1_catches_all_constructs() {
+        let src = "fn f(x: Option<u8>, v: &[u8]) {\n\
+                   let _ = x.unwrap();\n\
+                   let _ = x.expect(\"msg\");\n\
+                   panic!(\"boom\");\n\
+                   todo!();\n\
+                   unimplemented!();\n\
+                   let _ = v[0];\n\
+                   }\n";
+        let f = scan_str("crates/core/src/recovery.rs", src);
+        assert_eq!(f.len(), 6, "{f:#?}");
+        assert!(f.iter().all(|x| x.rule == RECOVERY_NO_PANIC));
+    }
+
+    #[test]
+    fn r1_ignores_safe_lookalikes() {
+        let src = "fn f(x: Option<u8>, v: &[u8]) {\n\
+                   let _ = x.unwrap_or(0);\n\
+                   let expected = 3;\n\
+                   let _ = v.get(0);\n\
+                   let _ = v[expected as usize];\n\
+                   let t: [u8; 4] = [0; 4];\n\
+                   #[derive(Debug)]\n\
+                   struct S;\n\
+                   }\n";
+        let f = scan_str("crates/core/src/recovery.rs", src);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn r1_only_in_listed_files() {
+        let f = scan_str("crates/net/src/fabric.rs", "fn f(x: Option<u8>) { x.unwrap(); }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn r2_catches_all_sources() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() {\n\
+                   let _ = std::time::Instant::now();\n\
+                   let _ = std::time::SystemTime::now();\n\
+                   let _r = thread_rng();\n\
+                   let _s: HashSet<u8> = HashSet::new();\n\
+                   }\n";
+        let f = scan_str("crates/sim/src/anything.rs", src);
+        assert_eq!(f.len(), 6, "{f:#?}");
+        assert!(f.iter().all(|x| x.rule == DETERMINISM));
+    }
+
+    #[test]
+    fn r2_allows_type_mentions_without_now() {
+        let src = "fn f(t: std::time::Instant) -> Instant { t }\n";
+        let f = scan_str("crates/sim/src/x.rs", src);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn r3_catches_direct_writes_only() {
+        let src = "fn f(s: &mut S) {\n\
+                   s.next_seq = 4;\n\
+                   s.cum_acked += 1;\n\
+                   s.inner.expected = 7;\n\
+                   let _ = s.next_seq == 4;\n\
+                   let _ = s.next_seq;\n\
+                   s.next_seq_hint = 1;\n\
+                   match x { P { expected } => expected, }\n\
+                   }\n";
+        let f = scan_str("crates/mcp/src/machine.rs", src);
+        assert_eq!(f.len(), 3, "{f:#?}");
+        assert!(f.iter().all(|x| x.rule == SEQNUM_DISCIPLINE));
+    }
+
+    #[test]
+    fn r3_exempts_accessor_modules() {
+        let src = "fn f(s: &mut S) { s.next_seq = 4; }\n";
+        assert!(scan_str("crates/mcp/src/gobackn.rs", src).is_empty());
+        assert!(scan_str("crates/gm/src/backup.rs", src).is_empty());
+        assert_eq!(scan_str("crates/gm/src/world.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn r4_catches_wildcards() {
+        let src = "fn f(o: Outcome) -> u8 {\n\
+                   match o {\n\
+                   Outcome::NoImpact => 0,\n\
+                   _ => 1,\n\
+                   }\n\
+                   }\n";
+        let f = scan_str("crates/faults/src/classify.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, NO_WILDCARD_MATCH);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn r4_ignores_bindings_and_other_files() {
+        let src = "fn f() { let _ = 3; let _x = 4; }\n";
+        assert!(scan_str("crates/faults/src/classify.rs", src).is_empty());
+        let wild = "fn f(o: O) { match o { _ => 1 } }\n";
+        assert!(scan_str("crates/faults/src/inject.rs", wild).is_empty());
+    }
+
+    #[test]
+    fn r5_catches_bare_truncations() {
+        let src = "fn f(x: u32) -> u8 { let _ = x as u16; x as u8 }\n";
+        let f = scan_str("crates/mcp/src/packet.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == NO_TRUNCATING_CAST));
+    }
+
+    #[test]
+    fn r5_ignores_widening_and_types() {
+        let src = "fn f(x: u8) -> u32 { let v: Vec<u8> = vec![x]; v[0] as u32 }\n";
+        assert!(scan_str("crates/net/src/crc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_rule_specific() {
+        let src = "fn f(x: Option<u8>) {\n\
+                   x.unwrap(); // lint:allow(recovery-no-panic)\n\
+                   // lint:allow(determinism)\n\
+                   x.unwrap();\n\
+                   }\n";
+        let f = scan_str("crates/core/src/recovery.rs", src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].line, 4, "wrong-rule allow does not suppress");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn g(x: Option<u8>) { x.unwrap(); }\n\
+                   }\n";
+        assert!(scan_str("crates/core/src/recovery.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "fn f() {\n\
+                   // calls x.unwrap() and uses HashMap\n\
+                   let s = \"x.unwrap() HashMap _ =>\";\n\
+                   let _ = s;\n\
+                   }\n";
+        assert!(scan_str("crates/core/src/recovery.rs", src).is_empty());
+        assert!(scan_str("crates/sim/src/x.rs", src).is_empty());
+    }
+}

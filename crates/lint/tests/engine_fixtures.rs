@@ -1,0 +1,117 @@
+//! Fixture-driven tests for the lint engine: each file under
+//! `tests/fixtures/` is scanned *as if* it lived at a rule-governed path,
+//! and the expected finding count is asserted. The `*_bad.rs` fixtures
+//! exercise every construct a rule knows about; the `*_good.rs` fixtures
+//! are the sanctioned alternatives plus the known near-miss lookalikes.
+
+use ftgm_lint::{rules, scan_file_content, Finding};
+
+fn scan_fixture(name: &str, pretend_path: &str) -> Vec<Finding> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    scan_file_content(pretend_path, &content)
+}
+
+fn assert_all_rule(findings: &[Finding], rule: &str) {
+    assert!(
+        findings.iter().all(|f| f.rule == rule),
+        "expected only {rule} findings, got {findings:#?}"
+    );
+}
+
+#[test]
+fn r1_bad_flags_every_panicking_construct() {
+    let f = scan_fixture("r1_bad.rs", "crates/core/src/recovery.rs");
+    assert_eq!(f.len(), 7, "{f:#?}");
+    assert_all_rule(&f, rules::RECOVERY_NO_PANIC);
+    // Both literal-index forms are among them.
+    assert!(f.iter().any(|x| x.snippet.contains("v[0]")));
+    assert!(f.iter().any(|x| x.snippet.contains("v[1_0]")));
+}
+
+#[test]
+fn r1_good_is_clean_including_test_module() {
+    let f = scan_fixture("r1_good.rs", "crates/core/src/recovery.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn r2_bad_flags_every_nondeterminism_source() {
+    let f = scan_fixture("r2_bad.rs", "crates/sim/src/sched_helper.rs");
+    assert_eq!(f.len(), 6, "{f:#?}");
+    assert_all_rule(&f, rules::DETERMINISM);
+}
+
+#[test]
+fn r2_good_accepts_btree_and_type_mentions() {
+    let f = scan_fixture("r2_good.rs", "crates/sim/src/sched_helper.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn r3_bad_flags_direct_seqnum_writes() {
+    let f = scan_fixture("r3_bad.rs", "crates/mcp/src/machine.rs");
+    assert_eq!(f.len(), 4, "{f:#?}");
+    assert_all_rule(&f, rules::SEQNUM_DISCIPLINE);
+}
+
+#[test]
+fn r3_good_accepts_reads_locals_and_accessor_calls() {
+    let f = scan_fixture("r3_good.rs", "crates/mcp/src/machine.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn r3_bad_is_legal_inside_accessor_modules() {
+    // The same writes are the accessor modules' whole job.
+    let f = scan_fixture("r3_bad.rs", "crates/mcp/src/gobackn.rs");
+    assert!(f.is_empty(), "{f:#?}");
+    let f = scan_fixture("r3_bad.rs", "crates/gm/src/backup.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn r4_bad_flags_plain_and_guarded_wildcards() {
+    let f = scan_fixture("r4_bad.rs", "crates/faults/src/classify.rs");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert_all_rule(&f, rules::NO_WILDCARD_MATCH);
+}
+
+#[test]
+fn r4_good_accepts_exhaustive_matches_and_underscore_bindings() {
+    let f = scan_fixture("r4_good.rs", "crates/faults/src/classify.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn r5_bad_flags_bare_truncating_casts() {
+    let f = scan_fixture("r5_bad.rs", "crates/mcp/src/packet.rs");
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert_all_rule(&f, rules::NO_TRUNCATING_CAST);
+}
+
+#[test]
+fn r5_good_accepts_widening_and_try_from() {
+    let f = scan_fixture("r5_good.rs", "crates/mcp/src/packet.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn suppression_fixture_honors_rule_specific_allows() {
+    let f = scan_fixture("suppression.rs", "crates/core/src/recovery.rs");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, rules::RECOVERY_NO_PANIC);
+    assert_eq!(f[0].line, 9, "only the wrong-rule allow leaks through");
+}
+
+#[test]
+fn fixtures_are_invisible_to_a_workspace_scan() {
+    // The fixtures deliberately violate every rule; the scanner must not
+    // trip over them when walking the real tree (they live under
+    // tests/fixtures/, which is out of scope).
+    let f = scan_fixture("r1_bad.rs", "crates/lint/tests/fixtures/r1_bad.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}

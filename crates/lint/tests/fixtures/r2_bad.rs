@@ -1,0 +1,13 @@
+// Fixture: every R2 (determinism) violation. Scanned as if at
+// crates/sim/src/fixture.rs. Expected findings: 6.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn naughty() -> u128 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = std::time::SystemTime::now();
+    let t = std::time::Instant::now();
+    let _ = t;
+    m.len() as u128
+}

@@ -1,0 +1,17 @@
+// Fixture: the sanctioned deterministic alternatives. Scanned as if at
+// crates/sim/src/fixture.rs. Expected findings: 0.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+struct SimRng(u64);
+
+fn sanctioned(seed: u64) -> usize {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    let s: BTreeSet<u32> = BTreeSet::new();
+    let rng = SimRng(seed);
+    m.insert(rng.0 as u32, 1);
+    // Naming the std types without calling ::now is fine (e.g. docs or
+    // conversion helpers at the sim boundary).
+    fn boundary(_t: std::time::Instant) {}
+    m.len() + s.len()
+}

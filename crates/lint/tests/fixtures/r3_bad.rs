@@ -1,0 +1,16 @@
+// Fixture: R3 (seqnum-discipline) violations — direct writes to
+// sequence-number fields outside the accessor modules. Scanned as if at
+// crates/mcp/src/machine.rs. Expected findings: 4.
+
+struct Stream {
+    next_seq: u32,
+    cum_acked: u32,
+    expected: u32,
+}
+
+fn fiddle(s: &mut Stream) {
+    s.next_seq = 5;
+    s.next_seq += 1;
+    s.cum_acked = s.next_seq;
+    s.expected -= 1;
+}

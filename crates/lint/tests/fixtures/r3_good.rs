@@ -1,0 +1,32 @@
+// Fixture: sequence numbers read (not written) and advanced through
+// accessors. Scanned as if at crates/mcp/src/machine.rs. Expected
+// findings: 0.
+
+struct Stream {
+    next_seq: u32,
+    expected: u32,
+}
+
+impl Stream {
+    fn advance(&mut self) {
+        // Inside an accessor this would be legal, but this fixture is
+        // scanned as machine.rs — so route through a method instead.
+        self.bump();
+    }
+
+    fn bump(&mut self) {}
+}
+
+fn observe(s: &Stream) -> bool {
+    // Reads and comparisons are always fine.
+    let up_next = s.next_seq;
+    up_next == s.expected && s.next_seq == 0
+}
+
+fn shadow() {
+    // Local variables with the same names are not field writes.
+    let mut next_seq = 0u32;
+    next_seq += 1;
+    let expected = next_seq;
+    let _ = expected;
+}

@@ -1,0 +1,24 @@
+// Fixture: R4 (no-wildcard-match) violations. Scanned as if at
+// crates/faults/src/classify.rs. Expected findings: 2.
+
+enum Outcome {
+    Hung,
+    Corrupted,
+    NoImpact,
+}
+
+fn bucket(o: Outcome) -> u8 {
+    match o {
+        Outcome::Hung => 0,
+        _ => 9,
+    }
+}
+
+fn guard(o: Outcome, severity: u8) -> u8 {
+    match o {
+        Outcome::NoImpact => 0,
+        _ if severity > 3 => 1,
+        Outcome::Hung => 2,
+        Outcome::Corrupted => 3,
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: exhaustive matching over a fault enum. Scanned as if at
+// crates/faults/src/classify.rs. Expected findings: 0.
+
+enum Outcome {
+    Hung,
+    Corrupted,
+    NoImpact,
+}
+
+fn bucket(o: Outcome) -> u8 {
+    match o {
+        Outcome::Hung => 0,
+        Outcome::Corrupted => 1,
+        Outcome::NoImpact => 2,
+    }
+}
+
+fn unrelated_underscores(x: u32) -> u32 {
+    let _ = x;
+    let _ignored = x + 1;
+    x
+}

@@ -1,0 +1,8 @@
+// Fixture: R5 (no-truncating-cast) violations. Scanned as if at
+// crates/mcp/src/packet.rs. Expected findings: 3.
+
+fn encode(word: u32, len: usize) -> (u8, u16, u8) {
+    let ty = word as u8;
+    let short_len = len as u16;
+    (ty, short_len, (word >> 8) as u8)
+}

@@ -1,0 +1,12 @@
+// Fixture: sanctioned conversions in wire-format code. Scanned as if at
+// crates/mcp/src/packet.rs. Expected findings: 0.
+
+fn encode(word: u32, len: usize) -> (u8, u32, u64) {
+    // Widening casts are fine.
+    let wide = word as u64;
+    // try_from makes the truncation fallible and visible.
+    let ty = u8::try_from(word & 0xFF).unwrap_or(0);
+    // as u32/u64/usize are not truncating to sub-register widths.
+    let l = len as u32;
+    (ty, l, wide)
+}

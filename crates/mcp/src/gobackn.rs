@@ -210,8 +210,9 @@ impl SenderStream {
                 break;
             }
             while self.chunks.front().is_some_and(|c| c.msg_id == msg_id) {
-                let c = self.chunks.pop_front().expect("front exists");
-                out.freed_slabs.push(c.slab);
+                if let Some(c) = self.chunks.pop_front() {
+                    out.freed_slabs.push(c.slab);
+                }
             }
             out.completed.push(msg_id);
         }

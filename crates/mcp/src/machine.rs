@@ -25,7 +25,7 @@
 //! uncommitted final chunks and only ever advertises an ACK frontier below
 //! the oldest of them.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ftgm_lanai::chip::{isr, ChipEffect, HangCause, HostDmaDir, HostDmaReq, LanaiChip, WireFrame};
 use ftgm_lanai::cpu::RETURN_ADDR;
@@ -245,20 +245,20 @@ pub struct McpMachine {
     active_send: Option<ActiveSend>,
     /// Next sequence number to *assign* per stream (runs ahead of the
     /// admitted `SenderStream` counter while chunks are being staged).
-    tx_assign_seq: HashMap<StreamKey, u32>,
+    tx_assign_seq: BTreeMap<StreamKey, u32>,
     /// Sequence numbers that carry the SYN (stream-establishing) flag.
-    tx_syn_seq: HashMap<StreamKey, u32>,
-    tx_streams: HashMap<StreamKey, SenderStream>,
-    rx_streams: HashMap<StreamKey, ReceiverStream>,
-    rx_assembly: HashMap<StreamKey, RxAssembly>,
+    tx_syn_seq: BTreeMap<StreamKey, u32>,
+    tx_streams: BTreeMap<StreamKey, SenderStream>,
+    rx_streams: BTreeMap<StreamKey, ReceiverStream>,
+    rx_assembly: BTreeMap<StreamKey, RxAssembly>,
     /// Accepted final chunks whose delivery DMA has not completed: the ACK
     /// frontier may not pass the oldest of these (FTGM commit point).
-    rx_uncommitted: HashMap<StreamKey, BTreeSet<u32>>,
+    rx_uncommitted: BTreeMap<StreamKey, BTreeSet<u32>>,
     /// Last NACK value sent per stream (suppression: one NACK per stall
     /// point, re-armed when the stream advances).
-    rx_nack_sent: HashMap<StreamKey, u32>,
+    rx_nack_sent: BTreeMap<StreamKey, u32>,
     /// Port of each outstanding send token (for event routing).
-    send_token_port: HashMap<u64, u8>,
+    send_token_port: BTreeMap<u64, u8>,
 
     free_tx_slabs: Vec<u32>,
     free_rx_slabs: Vec<u32>,
@@ -314,14 +314,14 @@ impl McpMachine {
             send_q_high: VecDeque::new(),
             send_q_low: VecDeque::new(),
             active_send: None,
-            tx_assign_seq: HashMap::new(),
-            tx_syn_seq: HashMap::new(),
-            tx_streams: HashMap::new(),
-            rx_streams: HashMap::new(),
-            rx_assembly: HashMap::new(),
-            rx_uncommitted: HashMap::new(),
-            rx_nack_sent: HashMap::new(),
-            send_token_port: HashMap::new(),
+            tx_assign_seq: BTreeMap::new(),
+            tx_syn_seq: BTreeMap::new(),
+            tx_streams: BTreeMap::new(),
+            rx_streams: BTreeMap::new(),
+            rx_assembly: BTreeMap::new(),
+            rx_uncommitted: BTreeMap::new(),
+            rx_nack_sent: BTreeMap::new(),
+            send_token_port: BTreeMap::new(),
             free_tx_slabs: (0..layout::SLAB_COUNT).rev().collect(),
             free_rx_slabs: (0..layout::SLAB_COUNT).rev().collect(),
             hdma_jobs: VecDeque::new(),

@@ -196,6 +196,8 @@ impl Header {
         if type_word & 0xFFFF_FF00 != MAGIC {
             return Err(ParseError::BadMagic);
         }
+        // The low byte IS the type field; the magic check above already
+        // validated the upper 24 bits. lint:allow(no-truncating-cast)
         let ptype = match type_word as u8 {
             1 => PacketType::Data,
             2 => PacketType::Ack,
@@ -219,9 +221,12 @@ impl Header {
         Ok((
             Header {
                 ptype,
-                src_node: NodeId(stream as u16),
-                src_port: ((stream >> 16) & 0xF) as u8,
-                dst_port: ((stream >> 20) & 0xF) as u8,
+                // Deliberate field extractions from the packed stream
+                // word: node id is the low 16 bits, ports are 4-bit
+                // fields already masked to range.
+                src_node: NodeId(stream as u16), // lint:allow(no-truncating-cast)
+                src_port: ((stream >> 16) & 0xF) as u8, // lint:allow(no-truncating-cast)
+                dst_port: ((stream >> 20) & 0xF) as u8, // lint:allow(no-truncating-cast)
                 prio_high: stream & flags::PRIO_HIGH != 0,
                 last_chunk: stream & flags::LAST_CHUNK != 0,
                 resend: stream & flags::RESEND != 0,

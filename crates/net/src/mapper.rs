@@ -13,7 +13,7 @@
 //! to every experiment in the paper; mapping happens before traffic
 //! starts.)
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::topology::{Endpoint, NodeId, Topology};
 
@@ -23,7 +23,7 @@ pub type Route = Vec<u8>;
 /// Routes from one interface to every reachable peer.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RouteTable {
-    routes: HashMap<NodeId, Route>,
+    routes: BTreeMap<NodeId, Route>,
 }
 
 impl RouteTable {

@@ -6,7 +6,7 @@
 //! tombstones, which timer re-arming (the watchdog path) relies on.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -61,10 +61,12 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct Scheduler<E> {
     now: SimTime,
-    next_seq: u64,
+    next_event_seq: u64,
     heap: BinaryHeap<Entry<E>>,
-    /// Sequence numbers of scheduled-but-not-yet-fired, not-cancelled events.
-    live: HashSet<u64>,
+    /// Sequence numbers of scheduled-but-not-yet-fired, not-cancelled
+    /// events. A `BTreeSet` keeps the scheduler free of hash-iteration
+    /// order even though `live` is only probed for membership.
+    live: BTreeSet<u64>,
     popped: u64,
 }
 
@@ -79,9 +81,9 @@ impl<E> Scheduler<E> {
     pub fn new() -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            next_seq: 0,
+            next_event_seq: 0,
             heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            live: BTreeSet::new(),
             popped: 0,
         }
     }
@@ -107,8 +109,8 @@ impl<E> Scheduler<E> {
             "cannot schedule into the past: at={at:?} now={:?}",
             self.now
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.next_event_seq;
+        self.next_event_seq += 1;
         self.live.insert(seq);
         self.heap.push(Entry { at, seq, event });
         EventId(seq)
