@@ -9,4 +9,8 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+# Chaos smoke: the deterministic multi-fault scenario set. Runs in release
+# (the scenarios simulate seconds of cluster time; debug builds are gated
+# off with #[ignore] to keep the tier under budget).
+cargo test --release -q -p ftgm-core --test chaos_smoke
 cargo run -q -p ftgm-lint -- --deny-new --quiet

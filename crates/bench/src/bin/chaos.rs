@@ -1,0 +1,63 @@
+//! Chaos campaign: the standard composed-fault scenario set (flips timed
+//! inside FTD recovery phases, back-to-back hangs, forced escalation,
+//! multi-node flips, link flaps, lossy windows) with oracle verdicts.
+//!
+//! Usage: `chaos [seed] [out.json]` (defaults: seed 2003,
+//! `results/chaos_summary.json`). Identical seeds reproduce identical
+//! summaries byte-for-byte.
+
+use ftgm_faults::chaos::{reports_to_json, run_scenario, standard_scenarios};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2003);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "results/chaos_summary.json".to_string());
+
+    let scenarios = standard_scenarios();
+    eprintln!("chaos: {} scenarios (seed {seed})…", scenarios.len());
+    let mut reports = Vec::new();
+    println!("\nChaos campaign (seed {seed})\n");
+    println!(
+        "{:<30} {:>8} {:>10} {:>11} {:>9} {:>10}",
+        "scenario", "verdict", "recoveries", "escalations", "delivered", "violations"
+    );
+    for s in &scenarios {
+        eprintln!("  running {}…", s.name);
+        let r = run_scenario(s, seed);
+        println!(
+            "{:<30} {:>8} {:>10} {:>11} {:>9} {:>10}",
+            r.scenario,
+            if r.ok() { "ok" } else { "FAIL" },
+            r.nodes.iter().map(|n| n.recoveries).sum::<u64>(),
+            r.nodes.iter().map(|n| n.escalations).sum::<u64>(),
+            r.flows.iter().map(|f| f.delivered).sum::<u64>(),
+            r.violations.len()
+        );
+        for v in &r.violations {
+            println!("    violation: {v}");
+        }
+        reports.push(r);
+    }
+    let failed = reports.iter().filter(|r| !r.ok()).count();
+    println!(
+        "\n{}/{} scenarios passed every oracle",
+        reports.len() - failed,
+        reports.len()
+    );
+
+    let json = reports_to_json(&reports);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if failed > 0 {
+        std::process::exit(2);
+    }
+}

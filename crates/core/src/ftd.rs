@@ -28,12 +28,52 @@ use ftgm_sim::{SimDuration, SimTime};
 /// The magic value the FTD writes for its liveness probe.
 pub const MAGIC_VALUE: u32 = 0x0F7D_600D;
 
+/// Retry/escalation policy of the hardened FTD.
+///
+/// A recovery whose post-reload verification fails — or an interface that
+/// hangs again within [`RetryPolicy::rehang_window`] of the previous
+/// recovery — counts as another attempt of the *same* episode. Attempts
+/// back off exponentially; when [`RetryPolicy::max_attempts`] reloads all
+/// fail to produce a live MCP, the FTD gives up and escalates the
+/// interface to dead (outstanding sends fail back to applications instead
+/// of hanging them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reload attempts per episode before escalating to `InterfaceDead`.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_backoff: SimDuration,
+    /// A hang this soon after a completed recovery continues the previous
+    /// episode (the reloaded MCP was not actually healthy).
+    pub rehang_window: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_ms(50),
+            rehang_window: SimDuration::from_ms(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to wait after `attempt` (1-based) failed: `base * 2^(a-1)`,
+    /// capped so the shift cannot overflow.
+    pub fn backoff_after(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(16);
+        SimDuration::from_nanos(self.base_backoff.as_nanos().saturating_mul(1u64 << shift))
+    }
+}
+
 /// Per-node FTD bookkeeping (lives alongside the world).
 #[derive(Clone, Debug)]
 pub struct FtdState {
     /// The daemon's process id on its host.
     pub pid: Pid,
-    /// `true` while a recovery is in progress (ignore repeat FATALs).
+    /// `true` while a recovery is in progress (repeat FATALs queue a
+    /// re-verification instead of starting a second daemon pass).
     pub busy: bool,
     /// Completed recoveries.
     pub recoveries: u64,
@@ -45,6 +85,19 @@ pub struct FtdState {
     /// handler from an older generation must not touch state a newer
     /// recovery owns.
     pub epoch: u64,
+    /// A FATAL arrived while `busy`: re-probe before going back to sleep.
+    pub pending_reverify: bool,
+    /// Reload attempts in the current episode (reset when a hang arrives
+    /// outside the re-hang window of the last completed recovery).
+    pub attempts: u32,
+    /// Reloads whose post-reload verification failed (lifetime total).
+    pub failed_attempts: u64,
+    /// Episodes that ended in escalation (lifetime total).
+    pub escalations: u64,
+    /// The interface was declared dead after `max_attempts` failed reloads.
+    pub dead: bool,
+    /// When the last successful recovery completed.
+    pub last_recovery_end: Option<SimTime>,
 }
 
 impl FtdState {
@@ -57,6 +110,12 @@ impl FtdState {
             false_alarms: 0,
             detected_at: None,
             epoch: 0,
+            pending_reverify: false,
+            attempts: 0,
+            failed_attempts: 0,
+            escalations: 0,
+            dead: false,
+            last_recovery_end: None,
         }
     }
 }
@@ -66,10 +125,16 @@ impl FtdState {
 pub const FTD_WAKE_LATENCY: SimDuration = SimDuration::from_us(30);
 
 /// Driver FATAL-interrupt handler: wake the FTD (§4.3). Called from the
-/// world's IRQ path via the installed hook.
-pub fn on_fatal_irq(world: &mut World, node: NodeId, ftd: &mut FtdState) {
+/// world's IRQ path via the installed hook. Returns `true` if the daemon
+/// was woken (a FATAL on a busy daemon queues a re-verification instead;
+/// a FATAL on a dead interface is ignored).
+pub fn on_fatal_irq(world: &mut World, node: NodeId, ftd: &mut FtdState) -> bool {
+    if ftd.dead {
+        return false;
+    }
     if ftd.busy {
-        return;
+        ftd.pending_reverify = true;
+        return false;
     }
     ftd.busy = true;
     let n = node.0 as usize;
@@ -77,6 +142,7 @@ pub fn on_fatal_irq(world: &mut World, node: NodeId, ftd: &mut FtdState) {
     world
         .trace
         .record(world.now(), "ftd", format!("{node}: driver wakes FTD"));
+    true
 }
 
 /// The FTD main routine, resumed after the wake latency. Returns the
@@ -153,6 +219,20 @@ impl FtdPhase {
         FtdPhase::RestorePageTable,
         FtdPhase::RestoreRoutes,
     ];
+
+    /// The phase's position within [`FtdPhase::ORDER`] (the index the
+    /// world's `ftd_phase` hook reports, so crates below `ftgm-core` can
+    /// name phases without depending on this type).
+    pub fn index(self) -> usize {
+        match self {
+            FtdPhase::Reset => 0,
+            FtdPhase::ClearSram => 1,
+            FtdPhase::ReloadMcp => 2,
+            FtdPhase::RestartEngines => 3,
+            FtdPhase::RestorePageTable => 4,
+            FtdPhase::RestoreRoutes => 5,
+        }
+    }
 
     /// Human-readable label for traces.
     pub fn label(self) -> &'static str {

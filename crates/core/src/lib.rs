@@ -53,6 +53,7 @@ use ftgm_net::NodeId;
 use ftgm_sim::SimDuration;
 
 use ftd::{FtdPhase, FtdState, FTD_WAKE_LATENCY};
+pub use ftd::RetryPolicy;
 pub use recovery::{restore_port_state, RestoreSummary, PER_PROCESS_RECOVERY};
 pub use timeline::RecoveryReport;
 
@@ -64,10 +65,12 @@ pub use timeline::RecoveryReport;
 #[derive(Clone)]
 pub struct FtSystem {
     states: Rc<RefCell<Vec<FtdState>>>,
+    policy: RetryPolicy,
 }
 
 impl FtSystem {
-    /// Installs the fault-tolerance machinery into `world`.
+    /// Installs the fault-tolerance machinery into `world` with the
+    /// default [`RetryPolicy`].
     ///
     /// # Panics
     ///
@@ -75,6 +78,15 @@ impl FtSystem {
     /// timer is armed by FTGM's `L_timer()`, so installing over stock GM
     /// would silently never detect anything.
     pub fn install(world: &mut World) -> FtSystem {
+        FtSystem::install_with_policy(world, RetryPolicy::default())
+    }
+
+    /// [`FtSystem::install`] with an explicit retry/escalation policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world does not run the FTGM variant.
+    pub fn install_with_policy(world: &mut World, policy: RetryPolicy) -> FtSystem {
         assert!(
             world.is_ftgm(),
             "FtSystem requires a world built with WorldConfig::ftgm()"
@@ -88,26 +100,55 @@ impl FtSystem {
         let states = Rc::new(RefCell::new(states));
         let sys = FtSystem {
             states: states.clone(),
+            policy,
         };
 
-        // Driver FATAL handler → wake the FTD, then run it.
+        // Driver FATAL handler → wake the FTD, then run it. A FATAL while
+        // a recovery is already running is NOT dropped: it queues a
+        // re-verification the daemon performs before going back to sleep.
         let s2 = states.clone();
         world.hooks.fatal_irq = Some(Rc::new(move |w: &mut World, node: NodeId| {
             let n = node.0 as usize;
             {
                 let mut st = s2.borrow_mut();
+                if st[n].dead {
+                    drop(st);
+                    w.trace.record(
+                        w.now(),
+                        "ftd",
+                        format!("{node}: FATAL on dead interface ignored"),
+                    );
+                    return;
+                }
                 if st[n].busy {
+                    st[n].pending_reverify = true;
+                    drop(st);
+                    w.trace.record(
+                        w.now(),
+                        "ftd",
+                        format!("{node}: FATAL during recovery — re-verification queued"),
+                    );
                     return;
                 }
                 st[n].busy = true;
                 st[n].detected_at = Some(w.now());
+                // A hang long after the previous recovery is a fresh
+                // episode; one inside the re-hang window continues the
+                // previous one (its attempt budget carries over).
+                let fresh = match st[n].last_recovery_end {
+                    Some(end) => w.now().saturating_since(end) > policy.rehang_window,
+                    None => true,
+                };
+                if fresh {
+                    st[n].attempts = 0;
+                }
                 w.nodes[n].host.procs.wake(st[n].pid);
             }
             w.trace
                 .record(w.now(), "ftd", format!("{node}: driver wakes FTD"));
             let s3 = s2.clone();
             w.schedule_call(FTD_WAKE_LATENCY, move |w| {
-                FtSystem::ftd_main(w, node, s3);
+                FtSystem::ftd_main(w, node, s3, policy);
             });
         }));
 
@@ -150,7 +191,12 @@ impl FtSystem {
     }
 
     /// The FTD body: probe, then (if confirmed) the phased reset/restore.
-    fn ftd_main(world: &mut World, node: NodeId, states: Rc<RefCell<Vec<FtdState>>>) {
+    fn ftd_main(
+        world: &mut World,
+        node: NodeId,
+        states: Rc<RefCell<Vec<FtdState>>>,
+        policy: RetryPolicy,
+    ) {
         let n = node.0 as usize;
         world
             .trace
@@ -159,7 +205,8 @@ impl FtSystem {
         world.schedule_call(wait, move |w| {
             if !ftd::probe_confirms_hang(w, node) {
                 // False alarm: the MCP cleared the magic word. Re-arm the
-                // watchdog and go back to sleep.
+                // watchdog; if another FATAL queued meanwhile, re-probe
+                // instead of sleeping.
                 w.trace.record(
                     w.now(),
                     "ftd",
@@ -176,6 +223,17 @@ impl FtSystem {
                 w.sync_node(n);
                 let mut st = states.borrow_mut();
                 st[n].false_alarms += 1;
+                if st[n].pending_reverify {
+                    st[n].pending_reverify = false;
+                    drop(st);
+                    w.trace.record(
+                        w.now(),
+                        "ftd",
+                        format!("{node}: queued FATAL — probing again"),
+                    );
+                    FtSystem::ftd_main(w, node, states, policy);
+                    return;
+                }
                 st[n].busy = false;
                 let pid = st[n].pid;
                 drop(st);
@@ -187,50 +245,181 @@ impl FtSystem {
                 "ftd",
                 format!("{node}: magic word intact — hang confirmed"),
             );
-            states.borrow_mut()[n].epoch += 1;
-            // Run the phased reset/restore sequence.
-            let mut cumulative = SimDuration::ZERO;
-            for phase in FtdPhase::ORDER {
-                let dur = phase.duration(w, node);
-                cumulative += dur;
-                w.schedule_call(cumulative, move |w| {
-                    phase.apply(w, node);
-                    w.trace.record(
-                        w.now(),
-                        "ftd",
-                        format!("{node}: {} done", phase.label()),
-                    );
-                });
-            }
-            let states = states.clone();
-            w.schedule_call(cumulative, move |w| {
-                // Boot the reloaded MCP: timers armed, watchdog re-armed.
-                let now = w.now();
-                w.nodes[n].mcp.boot(now);
-                w.sync_node(n);
-                // Post FAULT_DETECTED into every open port's receive queue.
-                let open_ports: Vec<u8> = (0..8u8)
-                    .filter(|&p| w.nodes[n].ports[p as usize].is_some())
-                    .collect();
-                for port in &open_ports {
-                    w.post_fault_detected(node, *port);
-                    w.trace.record(
-                        w.now(),
-                        "ftd",
-                        format!("{node}: FAULT_DETECTED posted port {port}"),
-                    );
-                }
-                // Rewind and stand guard for the next fault.
-                let mut st = states.borrow_mut();
-                st[n].recoveries += 1;
-                st[n].busy = false;
-                let pid = st[n].pid;
-                drop(st);
-                w.nodes[n].host.procs.sleep(pid);
+            FtSystem::recovery_attempt(w, node, states, policy);
+        });
+    }
+
+    /// One reset/reload attempt: the six timed phases, boot, then a
+    /// post-reload verification probe. Success posts `FAULT_DETECTED` and
+    /// rewinds; failure retries with backoff or escalates.
+    fn recovery_attempt(
+        world: &mut World,
+        node: NodeId,
+        states: Rc<RefCell<Vec<FtdState>>>,
+        policy: RetryPolicy,
+    ) {
+        let n = node.0 as usize;
+        let attempt = {
+            let mut st = states.borrow_mut();
+            st[n].epoch += 1;
+            st[n].attempts += 1;
+            // The reload about to run supersedes any queued re-verification.
+            st[n].pending_reverify = false;
+            st[n].attempts
+        };
+        world.trace.record(
+            world.now(),
+            "ftd",
+            format!(
+                "{node}: reset/reload attempt {attempt}/{}",
+                policy.max_attempts
+            ),
+        );
+        // Run the phased reset/restore sequence.
+        let mut cumulative = SimDuration::ZERO;
+        for phase in FtdPhase::ORDER {
+            let dur = phase.duration(world, node);
+            cumulative += dur;
+            world.schedule_call(cumulative, move |w| {
+                phase.apply(w, node);
                 w.trace
-                    .record(w.now(), "ftd", format!("{node}: FTD sleeping again"));
+                    .record(w.now(), "ftd", format!("{node}: {} done", phase.label()));
+                // Chaos hook: lets experiments inject faults timed to land
+                // inside this exact recovery phase.
+                if let Some(hook) = w.hooks.ftd_phase.clone() {
+                    hook(w, node, phase.index());
+                }
+            });
+        }
+        world.schedule_call(cumulative, move |w| {
+            // Boot the reloaded MCP: timers armed, watchdog re-armed.
+            let now = w.now();
+            w.nodes[n].mcp.boot(now);
+            w.sync_node(n);
+            // Before declaring success, confirm the reloaded MCP is alive:
+            // write the magic word again and require L_timer() to clear it.
+            w.trace.record(
+                w.now(),
+                "ftd",
+                format!("{node}: verifying reloaded MCP"),
+            );
+            let wait = ftd::run_ftd_probe(w, node);
+            let states = states.clone();
+            w.schedule_call(wait, move |w| {
+                if ftd::probe_confirms_hang(w, node) {
+                    FtSystem::attempt_failed(w, node, states, policy);
+                } else {
+                    FtSystem::finish_recovery(w, node, states, policy);
+                }
             });
         });
+    }
+
+    /// Post-reload verification passed: post `FAULT_DETECTED` into every
+    /// open port, then either honor a queued re-verification or sleep.
+    fn finish_recovery(
+        world: &mut World,
+        node: NodeId,
+        states: Rc<RefCell<Vec<FtdState>>>,
+        policy: RetryPolicy,
+    ) {
+        let n = node.0 as usize;
+        world.trace.record(
+            world.now(),
+            "ftd",
+            format!("{node}: reloaded MCP verified alive"),
+        );
+        let open_ports: Vec<u8> = (0..8u8)
+            .filter(|&p| world.nodes[n].ports[p as usize].is_some())
+            .collect();
+        for port in &open_ports {
+            world.post_fault_detected(node, *port);
+            world.trace.record(
+                world.now(),
+                "ftd",
+                format!("{node}: FAULT_DETECTED posted port {port}"),
+            );
+        }
+        let now = world.now();
+        let mut st = states.borrow_mut();
+        st[n].recoveries += 1;
+        st[n].last_recovery_end = Some(now);
+        if st[n].pending_reverify {
+            // A FATAL arrived while we were recovering: probe once more
+            // before standing down (the probe decides false alarm vs. a
+            // fresh confirmed hang).
+            st[n].pending_reverify = false;
+            drop(st);
+            world.trace.record(
+                now,
+                "ftd",
+                format!("{node}: queued FATAL — probing again"),
+            );
+            FtSystem::ftd_main(world, node, states, policy);
+            return;
+        }
+        st[n].busy = false;
+        let pid = st[n].pid;
+        drop(st);
+        world.nodes[n].host.procs.sleep(pid);
+        world
+            .trace
+            .record(now, "ftd", format!("{node}: FTD sleeping again"));
+    }
+
+    /// Post-reload verification failed: retry with exponential backoff, or
+    /// — once the attempt budget is exhausted — escalate the interface to
+    /// dead and fail outstanding sends back to the applications.
+    fn attempt_failed(
+        world: &mut World,
+        node: NodeId,
+        states: Rc<RefCell<Vec<FtdState>>>,
+        policy: RetryPolicy,
+    ) {
+        let n = node.0 as usize;
+        let attempts = {
+            let mut st = states.borrow_mut();
+            st[n].failed_attempts += 1;
+            st[n].attempts
+        };
+        if attempts < policy.max_attempts {
+            let backoff = policy.backoff_after(attempts);
+            world.trace.record(
+                world.now(),
+                "ftd",
+                format!(
+                    "{node}: reload verification FAILED (attempt {attempts}) — retry in {}us",
+                    backoff.as_nanos() / 1_000
+                ),
+            );
+            world.schedule_call(backoff, move |w| {
+                FtSystem::recovery_attempt(w, node, states, policy);
+            });
+            return;
+        }
+        // Escalate: the card will not come back. Mask further interrupts,
+        // mark the interface dead, and surface the failure to every
+        // application instead of leaving sends hung forever.
+        world.trace.record(
+            world.now(),
+            "ftd",
+            format!("{node}: escalating — interface DEAD after {attempts} failed reloads"),
+        );
+        world.nodes[n].host.driver.set_interrupts_enabled(false);
+        let failed = world.fail_outstanding_sends(node);
+        world.trace.record(
+            world.now(),
+            "ftd",
+            format!("{node}: {failed} outstanding sends failed back to applications"),
+        );
+        let mut st = states.borrow_mut();
+        st[n].dead = true;
+        st[n].busy = false;
+        st[n].pending_reverify = false;
+        st[n].escalations += 1;
+        let pid = st[n].pid;
+        drop(st);
+        world.nodes[n].host.procs.sleep(pid);
     }
 
     /// Completed recoveries on `node`.
@@ -246,6 +435,31 @@ impl FtSystem {
     /// Whether a recovery is currently in progress on `node`.
     pub fn busy(&self, node: NodeId) -> bool {
         self.states.borrow()[node.0 as usize].busy
+    }
+
+    /// Whether `node`'s interface escalated to dead.
+    pub fn interface_dead(&self, node: NodeId) -> bool {
+        self.states.borrow()[node.0 as usize].dead
+    }
+
+    /// Reload attempts in `node`'s current (or last) episode.
+    pub fn attempts(&self, node: NodeId) -> u32 {
+        self.states.borrow()[node.0 as usize].attempts
+    }
+
+    /// Reloads on `node` whose post-reload verification failed.
+    pub fn failed_attempts(&self, node: NodeId) -> u64 {
+        self.states.borrow()[node.0 as usize].failed_attempts
+    }
+
+    /// Escalations to `InterfaceDead` on `node`.
+    pub fn escalations(&self, node: NodeId) -> u64 {
+        self.states.borrow()[node.0 as usize].escalations
+    }
+
+    /// The retry/escalation policy this system was installed with.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// Experiment helper: force-hang a node's network processor, recording

@@ -114,6 +114,35 @@ impl CampaignResult {
         out
     }
 
+    /// Serializes the aggregate as a JSON object (hand-rolled — the
+    /// workspace takes no serialization dependency). Category keys are
+    /// Table 1's labels; per-run detail stays in [`CampaignResult::to_csv`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"total_runs\": ");
+        out.push_str(&self.total().to_string());
+        out.push_str(",\n  \"counts\": {");
+        for (i, o) in Outcome::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", o.label(), self.count(*o)));
+        }
+        out.push_str("\n  },\n  \"percents\": {");
+        for (i, o) in Outcome::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {:.1}", o.label(), self.percent(*o)));
+        }
+        out.push_str(&format!(
+            "\n  }},\n  \"hangs\": {},\n  \"hangs_detected\": {},\n  \"hangs_recovered\": {}\n}}\n",
+            self.hangs(),
+            self.hangs_detected(),
+            self.hangs_recovered()
+        ));
+        out
+    }
+
     /// Renders a Table 1-style comparison against the paper's columns.
     pub fn render_table1(&self) -> String {
         let mut out = String::new();
@@ -176,6 +205,17 @@ mod tests {
         let csv = c.to_csv();
         assert_eq!(csv.lines().count(), 7, "{csv}");
         assert!(csv.starts_with("run,bit,outcome"));
+    }
+
+    #[test]
+    fn json_includes_every_category_and_totals() {
+        let config = quick_config();
+        let c = run_campaign(&config, 9, 4, 2);
+        let json = c.to_json();
+        assert!(json.contains("\"total_runs\": 4"), "{json}");
+        for o in Outcome::ALL {
+            assert!(json.contains(&format!("\"{}\":", o.label())), "{json}");
+        }
     }
 
     #[test]

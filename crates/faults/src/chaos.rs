@@ -1,0 +1,715 @@
+//! Composable chaos campaigns: seed-replayable schedules of *composed*
+//! fault events over multi-node worlds, checked by invariant oracles.
+//!
+//! The single-fault runs in [`crate::inject`] reproduce the paper's §2
+//! campaign: one bit flip, one two-node world, one observation window. A
+//! [`ChaosScenario`] generalizes that to the multi-fault regimes the
+//! paper's testbed could not exercise systematically:
+//!
+//! * bit flips on several nodes of a star or ring,
+//! * faults *timed to land inside a specific FTD recovery phase* (via the
+//!   world's `ftd_phase` hook),
+//! * back-to-back hangs that re-enter the daemon while it is busy,
+//! * transient link outages and lossy-link windows on the fabric.
+//!
+//! Every scenario runs under the retry/escalation FTD and ends with oracle
+//! checks: validated traffic stayed exactly-once (no corruption, no
+//! duplicates or misordering), and every faulted interface converged to
+//! *recovered* or loudly *escalated* within the horizon — never a silent
+//! hang. Identical `(scenario, seed)` pairs replay identically, down to
+//! the serialized report.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ftgm_core::ftd::FtdPhase;
+use ftgm_core::{FtSystem, RetryPolicy};
+use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
+use ftgm_gm::{World, WorldConfig};
+use ftgm_net::fabric::LinkFaults;
+use ftgm_net::NodeId;
+use ftgm_sim::{SimDuration, SimRng};
+
+use crate::classify::{classify_resolution, Resolution};
+use crate::inject::{flip_random_bit, InjectionTarget};
+
+/// The world a scenario runs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosTopology {
+    /// The paper's testbed: two hosts, one switch.
+    TwoNode,
+    /// `n` hosts on one switch.
+    Star(usize),
+    /// `n` switches in a cycle, one host each.
+    Ring(usize),
+}
+
+impl ChaosTopology {
+    fn build(self, config: WorldConfig) -> World {
+        match self {
+            ChaosTopology::TwoNode => World::two_node(config),
+            ChaosTopology::Star(n) => World::star(n, config),
+            ChaosTopology::Ring(n) => World::ring(n, config),
+        }
+    }
+
+    fn node_count(self) -> usize {
+        match self {
+            ChaosTopology::TwoNode => 2,
+            ChaosTopology::Star(n) => n,
+            ChaosTopology::Ring(n) => n,
+        }
+    }
+}
+
+/// One validated traffic flow (a [`PatternSender`] → [`PatternReceiver`]
+/// pair sharing a stats block).
+#[derive(Clone, Copy, Debug)]
+pub struct Flow {
+    /// Sending node.
+    pub src: u16,
+    /// Sender's GM port.
+    pub src_port: u8,
+    /// Receiving node.
+    pub dst: u16,
+    /// Receiver's GM port.
+    pub dst_port: u8,
+    /// Message size in bytes.
+    pub msg_size: u32,
+    /// Sender pipeline depth.
+    pub pipeline: u32,
+}
+
+impl Flow {
+    /// A 256-byte, depth-2 flow between default ports.
+    pub fn simple(src: u16, dst: u16) -> Flow {
+        Flow {
+            src,
+            src_port: 0,
+            dst,
+            dst_port: 2,
+            msg_size: 256,
+            pipeline: 2,
+        }
+    }
+}
+
+/// One fault primitive. Actions compose: a scenario may fire any number,
+/// timed absolutely or triggered by FTD recovery phases.
+#[derive(Clone, Debug)]
+pub enum ChaosAction {
+    /// Flip one uniformly random bit of `target` on `node`.
+    BitFlip {
+        /// Faulted node.
+        node: u16,
+        /// SRAM region the flip lands in.
+        target: InjectionTarget,
+    },
+    /// Force the node's network processor into a hang immediately.
+    ForceHang {
+        /// Faulted node.
+        node: u16,
+    },
+    /// Take the node's host–switch cable down for `duration`, then back up.
+    NicLinkDown {
+        /// Node whose NIC cable is pulled.
+        node: u16,
+        /// Outage length.
+        duration: SimDuration,
+    },
+    /// A window of fabric-wide packet loss and wire corruption.
+    LinkNoise {
+        /// Per-packet drop probability.
+        drop_prob: f64,
+        /// Per-packet CRC-visible corruption probability.
+        corrupt_prob: f64,
+        /// Window length.
+        duration: SimDuration,
+    },
+}
+
+/// An action fired at an absolute offset after the traffic warm-up.
+#[derive(Clone, Debug)]
+pub struct ChaosEvent {
+    /// Offset after warm-up.
+    pub at: SimDuration,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+/// An action fired the moment the FTD on `node` completes a specific
+/// recovery phase — the instrument for faults *inside* a recovery.
+#[derive(Clone, Debug)]
+pub struct PhaseTrigger {
+    /// Node whose FTD is watched.
+    pub node: u16,
+    /// Phase whose completion pulls the trigger.
+    pub phase: FtdPhase,
+    /// What happens.
+    pub action: ChaosAction,
+    /// How many times the trigger may fire before disarming.
+    pub remaining: u32,
+}
+
+/// A full scenario: world shape, traffic, and fault schedule.
+#[derive(Clone, Debug)]
+pub struct ChaosScenario {
+    /// Name, used in reports and JSON.
+    pub name: String,
+    /// World shape.
+    pub topology: ChaosTopology,
+    /// Validated traffic flows.
+    pub flows: Vec<Flow>,
+    /// Absolutely-timed fault events.
+    pub events: Vec<ChaosEvent>,
+    /// Recovery-phase-triggered fault events.
+    pub phase_triggers: Vec<PhaseTrigger>,
+    /// Fault-free traffic ramp before the schedule starts.
+    pub warmup: SimDuration,
+    /// Observation window after warm-up; oracles run at its end.
+    pub horizon: SimDuration,
+    /// FTD retry/escalation policy for this scenario.
+    pub policy: RetryPolicy,
+}
+
+impl ChaosScenario {
+    /// A two-node scenario skeleton with one flow and no faults yet.
+    pub fn two_node(name: &str) -> ChaosScenario {
+        ChaosScenario {
+            name: name.to_string(),
+            topology: ChaosTopology::TwoNode,
+            flows: vec![Flow::simple(0, 1)],
+            events: Vec::new(),
+            phase_triggers: Vec::new(),
+            warmup: SimDuration::from_ms(10),
+            horizon: SimDuration::from_ms(2_500),
+            policy: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One interface's terminal state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeReport {
+    /// Node id.
+    pub node: u16,
+    /// Terminal fault-tolerance state.
+    pub resolution: Resolution,
+    /// Completed recoveries.
+    pub recoveries: u64,
+    /// Reload attempts within the last fault burst.
+    pub attempts: u32,
+    /// Reload attempts whose post-reload verification failed.
+    pub failed_attempts: u64,
+    /// Escalations to `InterfaceDead`.
+    pub escalations: u64,
+    /// FTD wake-ups that found the magic word cleared.
+    pub false_alarms: u64,
+}
+
+/// One flow's delivery story.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowReport {
+    /// Sending node.
+    pub src: u16,
+    /// Receiving node.
+    pub dst: u16,
+    /// Messages delivered valid over the whole run.
+    pub delivered: u64,
+    /// Messages delivered valid after warm-up (the progress oracle input).
+    pub progress: u64,
+    /// Corrupt deliveries (exactly-once violation).
+    pub corrupt: u64,
+    /// Duplicate/out-of-order deliveries (exactly-once violation).
+    pub misordered: u64,
+    /// Application-visible send errors.
+    pub send_errors: u64,
+    /// `InterfaceDead` events seen by either endpoint.
+    pub iface_dead: u64,
+}
+
+/// A completed scenario run: per-node and per-flow results plus every
+/// oracle violation (empty = the scenario passed).
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the run replayed from.
+    pub seed: u64,
+    /// Per-interface terminal states.
+    pub nodes: Vec<NodeReport>,
+    /// Per-flow delivery results.
+    pub flows: Vec<FlowReport>,
+    /// Oracle violations, human-readable.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Did every oracle hold?
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serializes the report as a JSON object (hand-rolled, no deps).
+    /// Byte-identical across replays of the same `(scenario, seed)` — the
+    /// replay-identity tests compare these strings directly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scenario\": \"{}\",\n", self.scenario));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"ok\": {},\n", self.ok()));
+        out.push_str("  \"nodes\": [");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"node\": {}, \"resolution\": \"{}\", \"recoveries\": {}, \
+                 \"attempts\": {}, \"failed_attempts\": {}, \"escalations\": {}, \
+                 \"false_alarms\": {}}}",
+                n.node,
+                n.resolution,
+                n.recoveries,
+                n.attempts,
+                n.failed_attempts,
+                n.escalations,
+                n.false_alarms
+            ));
+        }
+        out.push_str("\n  ],\n  \"flows\": [");
+        for (i, f) in self.flows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"src\": {}, \"dst\": {}, \"delivered\": {}, \"progress\": {}, \
+                 \"corrupt\": {}, \"misordered\": {}, \"send_errors\": {}, \"iface_dead\": {}}}",
+                f.src, f.dst, f.delivered, f.progress, f.corrupt, f.misordered, f.send_errors,
+                f.iface_dead
+            ));
+        }
+        out.push_str("\n  ],\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\"", v.replace('"', "'")));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Serializes several reports as a JSON array (the campaign summary the
+/// `chaos` bench binary writes to `results/chaos_summary.json`).
+pub fn reports_to_json(reports: &[ChaosReport]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(r.to_json().trim_end());
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Applies one fault primitive right now.
+fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
+    match action {
+        ChaosAction::BitFlip { node, target } => {
+            flip_random_bit(world, NodeId(*node), *target, rng);
+        }
+        ChaosAction::ForceHang { node } => {
+            let now = world.now();
+            world
+                .trace
+                .record(now, "fault", format!("node{node}: forced hang"));
+            if let Some(n) = world.nodes.get_mut(*node as usize) {
+                n.mcp.force_hang();
+            }
+        }
+        ChaosAction::NicLinkDown { node, duration } => {
+            if let Some(link) = world.fabric.topology().nic_link(NodeId(*node)) {
+                let now = world.now();
+                world
+                    .trace
+                    .record(now, "fault", format!("node{node}: NIC link down"));
+                world.fabric.set_link_up(link, false);
+                world.schedule_call(*duration, move |w| {
+                    let t = w.now();
+                    w.trace.record(t, "fault", format!("link {link} back up"));
+                    w.fabric.set_link_up(link, true);
+                });
+            }
+        }
+        ChaosAction::LinkNoise {
+            drop_prob,
+            corrupt_prob,
+            duration,
+        } => {
+            let now = world.now();
+            world
+                .trace
+                .record(now, "fault", "fabric noise window opens".to_string());
+            world.fabric.set_faults(Some(LinkFaults {
+                drop_prob: *drop_prob,
+                corrupt_prob: *corrupt_prob,
+                rng: SimRng::new(rng.next_u64()),
+            }));
+            world.schedule_call(*duration, |w| {
+                let t = w.now();
+                w.trace
+                    .record(t, "fault", "fabric noise window closes".to_string());
+                w.fabric.set_faults(None);
+            });
+        }
+    }
+}
+
+/// Executes one scenario. `seed` drives every random draw (bit positions,
+/// noise); identical `(scenario, seed)` pairs produce byte-identical
+/// reports.
+pub fn run_scenario(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
+    let config = WorldConfig::ftgm();
+    let mut world = scenario.topology.build(config);
+    let ft = FtSystem::install_with_policy(&mut world, scenario.policy);
+
+    // One shared randomness source for all actions; draws happen in
+    // deterministic simulation-event order.
+    let rng = Rc::new(RefCell::new(SimRng::new(seed)));
+
+    // Traffic: one validated sender/receiver pair per flow.
+    let mut flow_stats: Vec<Rc<RefCell<TrafficStats>>> = Vec::new();
+    for f in &scenario.flows {
+        let stats = Rc::new(RefCell::new(TrafficStats::default()));
+        world.spawn_app(
+            NodeId(f.dst),
+            f.dst_port,
+            Box::new(PatternReceiver::new(f.msg_size.max(64), 16, stats.clone())),
+        );
+        world.spawn_app(
+            NodeId(f.src),
+            f.src_port,
+            Box::new(PatternSender::new(
+                NodeId(f.dst),
+                f.dst_port,
+                f.msg_size,
+                f.pipeline,
+                None,
+                stats.clone(),
+            )),
+        );
+        flow_stats.push(stats);
+    }
+
+    // Phase-triggered faults: armed via the world's ftd_phase hook, which
+    // the FTD fires after each completed recovery phase.
+    if !scenario.phase_triggers.is_empty() {
+        let triggers = Rc::new(RefCell::new(scenario.phase_triggers.clone()));
+        let hook_rng = rng.clone();
+        world.hooks.ftd_phase = Some(Rc::new(move |w, node, phase_idx| {
+            let mut due: Vec<ChaosAction> = Vec::new();
+            {
+                let mut ts = triggers.borrow_mut();
+                for t in ts.iter_mut() {
+                    if t.remaining > 0 && t.node == node.0 && t.phase.index() == phase_idx {
+                        t.remaining -= 1;
+                        due.push(t.action.clone());
+                    }
+                }
+            }
+            for action in &due {
+                let mut r = hook_rng.borrow_mut();
+                apply_action(w, action, &mut r);
+            }
+        }));
+    }
+
+    // Absolutely-timed faults.
+    for ev in &scenario.events {
+        let action = ev.action.clone();
+        let ev_rng = rng.clone();
+        world.schedule_call(scenario.warmup + ev.at, move |w| {
+            let mut r = ev_rng.borrow_mut();
+            apply_action(w, &action, &mut r);
+        });
+    }
+
+    world.run_for(scenario.warmup);
+    let baseline: Vec<u64> = flow_stats.iter().map(|s| s.borrow().received_ok).collect();
+    world.run_for(scenario.horizon);
+
+    // Collect per-node terminal states.
+    let mut nodes = Vec::new();
+    for n in 0..scenario.topology.node_count() {
+        let id = NodeId(n as u16);
+        let hung = world
+            .nodes
+            .get(n)
+            .map(|node| node.mcp.chip.is_hung())
+            .unwrap_or(false);
+        nodes.push(NodeReport {
+            node: n as u16,
+            resolution: classify_resolution(
+                ft.interface_dead(id),
+                ft.busy(id),
+                hung,
+                ft.recoveries(id),
+            ),
+            recoveries: ft.recoveries(id),
+            attempts: ft.attempts(id),
+            failed_attempts: ft.failed_attempts(id),
+            escalations: ft.escalations(id),
+            false_alarms: ft.false_alarms(id),
+        });
+    }
+
+    // Collect per-flow delivery results.
+    let mut flows = Vec::new();
+    for (i, f) in scenario.flows.iter().enumerate() {
+        let stats = flow_stats
+            .get(i)
+            .map(|s| s.borrow().clone())
+            .unwrap_or_default();
+        let before = baseline.get(i).copied().unwrap_or(0);
+        flows.push(FlowReport {
+            src: f.src,
+            dst: f.dst,
+            delivered: stats.received_ok,
+            progress: stats.received_ok.saturating_sub(before),
+            corrupt: stats.received_corrupt,
+            misordered: stats.misordered,
+            send_errors: stats.send_errors,
+            iface_dead: stats.iface_dead,
+        });
+    }
+
+    // Oracles.
+    let mut violations = Vec::new();
+    // 1. No silent hangs: every interface converged to an acceptable
+    //    terminal state within the horizon.
+    for n in &nodes {
+        if !n.resolution.acceptable() {
+            violations.push(format!(
+                "node {} ended {} (recoveries={}, attempts={})",
+                n.node, n.resolution, n.recoveries, n.attempts
+            ));
+        }
+    }
+    // 2. Exactly-once delivery: nothing corrupt, duplicated, or reordered
+    //    ever reaches an application, fault or no fault.
+    for f in &flows {
+        if f.corrupt > 0 || f.misordered > 0 {
+            violations.push(format!(
+                "flow {}->{}: {} corrupt, {} misordered deliveries",
+                f.src, f.dst, f.corrupt, f.misordered
+            ));
+        }
+    }
+    // 3. Progress: a flow between two non-escalated endpoints must have
+    //    delivered something after warm-up — recovery brought it back.
+    for f in &flows {
+        let endpoint_down = |id: u16| {
+            nodes
+                .iter()
+                .any(|n| n.node == id && n.resolution != Resolution::Healthy && n.resolution != Resolution::Recovered)
+        };
+        if !endpoint_down(f.src) && !endpoint_down(f.dst) && f.progress == 0 {
+            violations.push(format!(
+                "flow {}->{}: no progress despite both endpoints up",
+                f.src, f.dst
+            ));
+        }
+    }
+    // 4. Loud escalation: a dead interface must have surfaced
+    //    `InterfaceDead` (or a send error) to every flow touching it —
+    //    applications are never left waiting on a corpse.
+    for n in &nodes {
+        if n.resolution == Resolution::Escalated {
+            let surfaced: u64 = flows
+                .iter()
+                .filter(|f| f.src == n.node || f.dst == n.node)
+                .map(|f| f.iface_dead + f.send_errors)
+                .sum();
+            if surfaced == 0 {
+                violations.push(format!(
+                    "node {} escalated but no application saw an error",
+                    n.node
+                ));
+            }
+        }
+    }
+
+    ChaosReport {
+        scenario: scenario.name.clone(),
+        seed,
+        nodes,
+        flows,
+        violations,
+    }
+}
+
+/// The standard scenario set: the acceptance scenarios CI's `chaos_smoke`
+/// tier runs and the `chaos` bench binary reports on.
+pub fn standard_scenarios() -> Vec<ChaosScenario> {
+    let mut set = Vec::new();
+
+    // The headline acceptance scenario: a code-section flip hangs the
+    // interface, and a *second* flip lands in the freshly reloaded image
+    // during the FTD's ReloadMcp phase. Must end recovered or loudly dead.
+    let mut s = ChaosScenario::two_node("double-flip-during-reload");
+    s.events.push(ChaosEvent {
+        at: SimDuration::from_ms(0),
+        action: ChaosAction::BitFlip {
+            node: 0,
+            target: InjectionTarget::SendChunkCode,
+        },
+    });
+    s.phase_triggers.push(PhaseTrigger {
+        node: 0,
+        phase: FtdPhase::ReloadMcp,
+        action: ChaosAction::BitFlip {
+            node: 0,
+            target: InjectionTarget::SendChunkCode,
+        },
+        remaining: 1,
+    });
+    set.push(s);
+
+    // Two hangs in sequence: the second arrives after the first recovery
+    // completes (outside the re-hang window), forcing a full second pass.
+    let mut s = ChaosScenario::two_node("back-to-back-hangs");
+    s.horizon = SimDuration::from_ms(3_000);
+    for at in [0u64, 1_200] {
+        s.events.push(ChaosEvent {
+            at: SimDuration::from_ms(at),
+            action: ChaosAction::ForceHang { node: 0 },
+        });
+    }
+    set.push(s);
+
+    // A hang that re-manifests at the end of every reload: verification
+    // keeps failing until the attempt budget runs out and the FTD
+    // escalates to InterfaceDead, failing sends back to the apps.
+    let mut s = ChaosScenario::two_node("persistent-hang-escalates");
+    s.events.push(ChaosEvent {
+        at: SimDuration::from_ms(0),
+        action: ChaosAction::ForceHang { node: 0 },
+    });
+    s.phase_triggers.push(PhaseTrigger {
+        node: 0,
+        phase: FtdPhase::RestoreRoutes,
+        action: ChaosAction::ForceHang { node: 0 },
+        remaining: 3,
+    });
+    set.push(s);
+
+    // Multi-node: two independent code flips on a four-node ring, two
+    // disjoint flows. Each faulted interface recovers on its own.
+    let mut s = ChaosScenario::two_node("ring-two-nodes-flipped");
+    s.topology = ChaosTopology::Ring(4);
+    s.flows = vec![Flow::simple(0, 1), Flow::simple(2, 3)];
+    for (node, at) in [(0u16, 0u64), (2, 5)] {
+        s.events.push(ChaosEvent {
+            at: SimDuration::from_ms(at),
+            action: ChaosAction::BitFlip {
+                node,
+                target: InjectionTarget::SendChunkCode,
+            },
+        });
+    }
+    set.push(s);
+
+    // A transient cable pull on a star's middle node: Go-Back-N absorbs
+    // the outage, both flows finish clean with no recovery at all.
+    let mut s = ChaosScenario::two_node("star-link-flap");
+    s.topology = ChaosTopology::Star(3);
+    s.flows = vec![Flow::simple(0, 1), Flow::simple(1, 2)];
+    s.horizon = SimDuration::from_ms(1_500);
+    s.events.push(ChaosEvent {
+        at: SimDuration::from_ms(5),
+        action: ChaosAction::NicLinkDown {
+            node: 1,
+            duration: SimDuration::from_ms(20),
+        },
+    });
+    set.push(s);
+
+    // A lossy, corrupting fabric window: CRC drops plus retransmission
+    // must still deliver exactly-once.
+    let mut s = ChaosScenario::two_node("lossy-link-exactly-once");
+    s.horizon = SimDuration::from_ms(1_200);
+    s.events.push(ChaosEvent {
+        at: SimDuration::from_ms(0),
+        action: ChaosAction::LinkNoise {
+            drop_prob: 0.05,
+            corrupt_prob: 0.02,
+            duration: SimDuration::from_ms(100),
+        },
+    });
+    set.push(s);
+
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossy_link_stays_exactly_once() {
+        let scenarios = standard_scenarios();
+        let lossy = scenarios
+            .iter()
+            .find(|s| s.name == "lossy-link-exactly-once")
+            .expect("standard set has the lossy scenario");
+        let report = run_scenario(lossy, 11);
+        assert!(report.ok(), "{:?}", report.violations);
+        let f = &report.flows[0];
+        assert_eq!(f.corrupt, 0);
+        assert_eq!(f.misordered, 0);
+        assert!(f.progress > 0);
+    }
+
+    #[test]
+    fn link_flap_recovers_without_ftd_involvement() {
+        let scenarios = standard_scenarios();
+        let flap = scenarios
+            .iter()
+            .find(|s| s.name == "star-link-flap")
+            .expect("standard set has the link-flap scenario");
+        let report = run_scenario(flap, 3);
+        assert!(report.ok(), "{:?}", report.violations);
+        for n in &report.nodes {
+            assert_eq!(n.resolution, Resolution::Healthy, "{n:?}");
+        }
+        for f in &report.flows {
+            assert!(f.progress > 0, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn report_json_is_replay_identical() {
+        let scenarios = standard_scenarios();
+        let s = &scenarios[0];
+        let a = run_scenario(s, 17).to_json();
+        let b = run_scenario(s, 17).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scenarios = standard_scenarios();
+        let s = scenarios
+            .iter()
+            .find(|sc| sc.name == "double-flip-during-reload")
+            .expect("standard set has the double-flip scenario");
+        let jsons: Vec<String> = (0..4).map(|seed| run_scenario(s, seed).to_json()).collect();
+        let mut unique = jsons.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() >= 2, "all four seeds produced identical runs");
+    }
+}

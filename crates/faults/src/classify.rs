@@ -153,6 +153,73 @@ pub fn classify(obs: &Observables) -> Outcome {
     Outcome::NoImpact
 }
 
+/// How one interface's fault-handling story ended, for chaos-campaign
+/// oracles. Unlike [`Outcome`] (the *external* damage taxonomy of Table 1)
+/// this classifies the *fault-tolerance machinery's* terminal state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resolution {
+    /// No fault ever manifested on this interface.
+    Healthy,
+    /// At least one recovery completed and the interface is back up.
+    Recovered,
+    /// Bounded retries were exhausted; the FTD declared the interface dead
+    /// and failed outstanding sends back to the applications.
+    Escalated,
+    /// The interface is hung and nothing is working on it — the silent
+    /// failure mode FTGM exists to eliminate. Always an oracle violation.
+    StrandedHung,
+    /// A recovery was still in flight at observation time (the FTD never
+    /// converged within the horizon). Also an oracle violation.
+    StuckRecovering,
+}
+
+impl Resolution {
+    /// `true` for the acceptable terminal states: the interface either
+    /// works again or its death was loudly reported. Never silently hung.
+    pub fn acceptable(self) -> bool {
+        match self {
+            Resolution::Healthy | Resolution::Recovered | Resolution::Escalated => true,
+            Resolution::StrandedHung | Resolution::StuckRecovering => false,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::Healthy => "healthy",
+            Resolution::Recovered => "recovered",
+            Resolution::Escalated => "escalated",
+            Resolution::StrandedHung => "stranded-hung",
+            Resolution::StuckRecovering => "stuck-recovering",
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies one interface's terminal fault-tolerance state from the FTD
+/// accessors (`interface_dead`, `busy`, `recoveries`) plus whether the
+/// chip is hung right now.
+pub fn classify_resolution(dead: bool, busy: bool, hung: bool, recoveries: u64) -> Resolution {
+    if dead {
+        return Resolution::Escalated;
+    }
+    if busy {
+        return Resolution::StuckRecovering;
+    }
+    if hung {
+        return Resolution::StrandedHung;
+    }
+    if recoveries > 0 {
+        return Resolution::Recovered;
+    }
+    Resolution::Healthy
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +307,40 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(classify(&obs), Outcome::OtherErrors);
+    }
+
+    #[test]
+    fn resolution_severity_order() {
+        // dead outranks busy outranks hung outranks recovered.
+        assert_eq!(
+            classify_resolution(true, true, true, 3),
+            Resolution::Escalated
+        );
+        assert_eq!(
+            classify_resolution(false, true, true, 1),
+            Resolution::StuckRecovering
+        );
+        assert_eq!(
+            classify_resolution(false, false, true, 0),
+            Resolution::StrandedHung
+        );
+        assert_eq!(
+            classify_resolution(false, false, false, 2),
+            Resolution::Recovered
+        );
+        assert_eq!(
+            classify_resolution(false, false, false, 0),
+            Resolution::Healthy
+        );
+    }
+
+    #[test]
+    fn only_loud_terminal_states_are_acceptable() {
+        assert!(Resolution::Healthy.acceptable());
+        assert!(Resolution::Recovered.acceptable());
+        assert!(Resolution::Escalated.acceptable());
+        assert!(!Resolution::StrandedHung.acceptable());
+        assert!(!Resolution::StuckRecovering.acceptable());
     }
 
     #[test]

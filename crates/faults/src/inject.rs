@@ -130,6 +130,47 @@ pub struct RunResult {
 const FAULT_NODE: NodeId = NodeId(0);
 const PEER_NODE: NodeId = NodeId(1);
 
+/// The SRAM byte range a target names on `node` (the `send_chunk` code
+/// range depends on the loaded firmware image, so the world is needed).
+pub fn target_range(world: &World, node: NodeId, target: InjectionTarget) -> std::ops::Range<u32> {
+    match target {
+        InjectionTarget::SendChunkCode => world.nodes[node.0 as usize]
+            .mcp
+            .firmware()
+            .code_range(),
+        InjectionTarget::PacketBuffer => {
+            ftgm_mcp::layout::PKT_BUF..ftgm_mcp::layout::PKT_BUF + 0x1100
+        }
+        InjectionTarget::SendRecord => {
+            ftgm_mcp::layout::SENDREC..ftgm_mcp::layout::SENDREC + 44
+        }
+        InjectionTarget::SramRegion { start, len } => start..start + len,
+    }
+}
+
+/// Flips one uniformly random bit of `target` on `node`, records it in the
+/// world trace, and returns the bit's offset within the target region.
+pub fn flip_random_bit(
+    world: &mut World,
+    node: NodeId,
+    target: InjectionTarget,
+    rng: &mut SimRng,
+) -> u64 {
+    let range = target_range(world, node, target);
+    let bits = (range.end - range.start) as u64 * 8;
+    let bit = rng.gen_range(bits.max(1));
+    world.nodes[node.0 as usize]
+        .mcp
+        .chip
+        .sram
+        .flip_bit(range.start as u64 * 8 + bit);
+    let now = world.now();
+    world
+        .trace
+        .record(now, "fault", format!("{node}: fault injected (bit {bit})"));
+    bit
+}
+
 /// Executes one injection run. `seed` selects the bit (and any other
 /// randomness); identical seeds replay identical runs.
 pub fn run_one(config: &RunConfig, seed: u64) -> RunResult {
@@ -170,35 +211,12 @@ pub fn run_one(config: &RunConfig, seed: u64) -> RunResult {
     let parse_before = world.nodes[PEER_NODE.0 as usize].mcp.stats().parse_drops;
 
     // Flip one uniformly random bit of the target region per fault.
-    let range = match config.target {
-        InjectionTarget::SendChunkCode => world.nodes[FAULT_NODE.0 as usize]
-            .mcp
-            .firmware()
-            .code_range(),
-        InjectionTarget::PacketBuffer => {
-            ftgm_mcp::layout::PKT_BUF..ftgm_mcp::layout::PKT_BUF + 0x1100
-        }
-        InjectionTarget::SendRecord => {
-            ftgm_mcp::layout::SENDREC..ftgm_mcp::layout::SENDREC + 44
-        }
-        InjectionTarget::SramRegion { start, len } => start..start + len,
-    };
-    let bits = (range.end - range.start) as u64 * 8;
     let mut first_bit = 0;
     for f in 0..config.faults_per_run.max(1) {
-        let bit = rng.gen_range(bits);
+        let bit = flip_random_bit(&mut world, FAULT_NODE, config.target, &mut rng);
         if f == 0 {
             first_bit = bit;
         }
-        world.nodes[FAULT_NODE.0 as usize]
-            .mcp
-            .chip
-            .sram
-            .flip_bit(range.start as u64 * 8 + bit);
-        let now = world.now();
-        world
-            .trace
-            .record(now, "fault", format!("{FAULT_NODE}: fault injected (bit {bit})"));
         if f + 1 < config.faults_per_run {
             world.run_for(config.fault_spacing);
         }

@@ -12,14 +12,24 @@
 //! * [`classify`] — the outcome taxonomy and classification rules,
 //! * [`inject`] — one reproducible run (`seed` → bit choice → world),
 //! * [`campaign`] — parallel N-run campaigns with deterministic
-//!   aggregation and Table 1 rendering.
+//!   aggregation and Table 1 rendering,
+//! * [`chaos`] — composed multi-fault scenarios (flips inside recovery
+//!   phases, back-to-back hangs, link outages) over multi-node worlds,
+//!   checked by exactly-once and recovery-or-escalation oracles.
 
 pub mod campaign;
+pub mod chaos;
 pub mod classify;
 pub mod forensics;
 pub mod inject;
 
 pub use campaign::{run_campaign, CampaignResult};
+pub use chaos::{
+    run_scenario, standard_scenarios, ChaosAction, ChaosEvent, ChaosReport, ChaosScenario,
+    ChaosTopology, Flow, PhaseTrigger,
+};
 pub use forensics::{analyze, FieldMatrix, InstrSensitivity};
-pub use classify::{classify as classify_outcome, Observables, Outcome};
-pub use inject::{run_one, InjectionTarget, RunConfig, RunResult};
+pub use classify::{
+    classify as classify_outcome, classify_resolution, Observables, Outcome, Resolution,
+};
+pub use inject::{flip_random_bit, run_one, target_range, InjectionTarget, RunConfig, RunResult};

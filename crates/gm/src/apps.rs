@@ -254,6 +254,11 @@ impl App for Streamer {
                 self.stats.borrow_mut().window_start = Some(ctx.now());
             }
             GmEvent::Alarm { .. } => {}
+            GmEvent::InterfaceDead => {
+                // Escalation: the interface will not come back; stop
+                // pushing (the outstanding sends already arrived as
+                // SendError and were counted above).
+            }
         }
     }
 }
@@ -296,13 +301,18 @@ pub struct TrafficStats {
     pub misordered: u64,
     /// Highest message index received, if any.
     pub last_idx: Option<u64>,
+    /// `InterfaceDead` escalation events observed (either side).
+    pub iface_dead: u64,
 }
 
 impl TrafficStats {
     /// `true` if every expected delivery guarantee held: nothing corrupt,
-    /// nothing misordered, no send errors.
+    /// nothing misordered, no send errors, no escalation.
     pub fn clean(&self) -> bool {
-        self.received_corrupt == 0 && self.misordered == 0 && self.send_errors == 0
+        self.received_corrupt == 0
+            && self.misordered == 0
+            && self.send_errors == 0
+            && self.iface_dead == 0
     }
 }
 
@@ -370,6 +380,9 @@ impl App for PatternSender {
                 // GM middleware treats this as fatal; we keep counting but
                 // stop pushing new traffic on this token.
             }
+            GmEvent::InterfaceDead => {
+                self.stats.borrow_mut().iface_dead += 1;
+            }
             _ => {}
         }
     }
@@ -401,6 +414,10 @@ impl App for PatternReceiver {
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: GmEvent) {
+        if let GmEvent::InterfaceDead = ev {
+            self.stats.borrow_mut().iface_dead += 1;
+            return;
+        }
         if let GmEvent::Received { data, .. } = ev {
             ctx.gm_provide_receive_buffer(self.buffer_size);
             let mut s = self.stats.borrow_mut();

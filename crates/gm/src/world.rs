@@ -140,6 +140,11 @@ pub enum GmEvent {
         /// The tag passed to `set_alarm`.
         tag: u64,
     },
+    /// The local interface was declared dead after repeated failed
+    /// recoveries (the FTD's escalation). Outstanding sends arrive as
+    /// [`GmEvent::SendError`] alongside this event; no further traffic is
+    /// possible on the port.
+    InterfaceDead,
 }
 
 /// Identifies a spawned application.
@@ -213,6 +218,10 @@ impl NodeSim {
 pub type FatalIrqHook = Rc<dyn Fn(&mut World, NodeId)>;
 /// A hook on the library's `FAULT_DETECTED` (`gm_unknown()`) path.
 pub type FaultEventHook = Rc<dyn Fn(&mut World, NodeId, u8)>;
+/// A hook fired right after each FTD recovery phase applies on a node.
+/// The `usize` is the phase's index in the FTD's execution order; chaos
+/// experiments use it to time fault injections inside specific phases.
+pub type FtdPhaseHook = Rc<dyn Fn(&mut World, NodeId, usize)>;
 
 /// Recovery hooks installed by `ftgm-core`.
 #[derive(Clone, Default)]
@@ -222,6 +231,8 @@ pub struct Hooks {
     /// Called when a `FAULT_DETECTED` event reaches a port's receive queue
     /// (the `gm_unknown()` path).
     pub fault_event: Option<FaultEventHook>,
+    /// Called after each FTD recovery phase completes (chaos injection).
+    pub ftd_phase: Option<FtdPhaseHook>,
 }
 
 /// Aggregate world statistics.
@@ -317,6 +328,18 @@ impl World {
     /// Convenience: the paper's two-host, one-switch testbed.
     pub fn two_node(config: WorldConfig) -> World {
         World::new(Topology::two_nodes_one_switch(), config)
+    }
+
+    /// Convenience: `n` hosts on one switch (chaos campaigns over more
+    /// than two nodes).
+    pub fn star(n: usize, config: WorldConfig) -> World {
+        World::new(Topology::star(n), config)
+    }
+
+    /// Convenience: `n` hosts on a ring of switches — multi-hop routes
+    /// with redundant directions around the cycle.
+    pub fn ring(n: usize, config: WorldConfig) -> World {
+        World::new(Topology::ring(n), config)
     }
 
     /// The current simulation time.
@@ -718,6 +741,45 @@ impl World {
     /// Cancels the node's pending host DMA, if any (card reset drops it).
     pub fn abort_host_dma(&mut self, node: NodeId) {
         self.nodes[node.0 as usize].dma_in_flight = None;
+    }
+
+    /// The FTD's escalation path: the interface will not come back, so
+    /// every backed-up (unacknowledged) send on every open port fails back
+    /// to its application as [`GmEvent::SendError`], followed by one
+    /// [`GmEvent::InterfaceDead`] per port. Returns the number of sends
+    /// failed. Buffers and tokens return to the process so middleware can
+    /// tear down cleanly instead of leaking.
+    pub fn fail_outstanding_sends(&mut self, node: NodeId) -> usize {
+        let n = node.0 as usize;
+        let api = self.config.api;
+        let mut failed = 0;
+        for port in 0..8u8 {
+            let tokens: Vec<u64> = {
+                let Some(hp) = self.nodes[n].ports[port as usize].as_mut() else {
+                    continue;
+                };
+                let tokens: Vec<u64> = hp
+                    .backup
+                    .outstanding_sends()
+                    .iter()
+                    .map(|c| c.token_id)
+                    .collect();
+                for &token_id in &tokens {
+                    hp.backup.remove_send(token_id);
+                    if let Some(region) = hp.send_bufs.remove(&token_id) {
+                        hp.free_bufs.entry(region.len).or_default().push(region);
+                    }
+                    hp.send_tokens += 1;
+                }
+                tokens
+            };
+            failed += tokens.len();
+            for token_id in tokens {
+                self.deliver_app_event(node, port, api.callback, GmEvent::SendError { token_id });
+            }
+            self.deliver_app_event(node, port, api.callback, GmEvent::InterfaceDead);
+        }
+        failed
     }
 
     /// Re-runs the GM mapper over the current topology, skipping links that

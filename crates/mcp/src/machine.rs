@@ -148,6 +148,10 @@ enum HdmaJob {
         req: HostDmaReq,
         rec: ChunkRecord,
         stream: StreamKey,
+        /// The source port's epoch when staged; a `close_port` in between
+        /// (recovery re-entry) makes the job stale and it is dropped on
+        /// completion instead of admitting a dead stream's chunk.
+        epoch: u64,
     },
     /// Delivering an accepted chunk SRAM→host.
     Deliver {
@@ -192,6 +196,8 @@ struct RxAssembly {
 struct PortState {
     open: bool,
     recv_tokens: Vec<RecvTokenDesc>,
+    /// Bumped by `close_port`; invalidates in-flight staging jobs.
+    epoch: u64,
 }
 
 /// Protocol/behaviour counters.
@@ -403,11 +409,63 @@ impl McpMachine {
         self.ports[port as usize].open = true;
     }
 
-    /// Host PIO: closes a port, dropping its receive tokens.
+    /// Host PIO: closes a port, dropping its receive tokens and purging
+    /// its queued (not yet active) send descriptors. The purge makes the
+    /// recovery handler's close-then-open restore re-entrant: a retried
+    /// `restore_port_state` replays the backup without doubling whatever
+    /// an interrupted earlier attempt already queued.
     pub fn close_port(&mut self, port: u8) {
         let p = &mut self.ports[port as usize];
         p.open = false;
         p.recv_tokens.clear();
+        p.epoch += 1;
+        let tokens = &mut self.send_token_port;
+        for q in [&mut self.send_q_high, &mut self.send_q_low] {
+            q.retain(|d| {
+                if d.port == port {
+                    tokens.remove(&d.token_id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Re-entry safety: the FAULT_DETECTED handler may run twice for
+        // one port under the FTD retry path, with traffic already flowing
+        // again. Drop the port's sender-side stream state so replayed
+        // sends re-establish their streams at the backup's sequence
+        // numbers instead of colliding with the advanced counters (the
+        // peer's restored expected-seq counters drop the duplicates).
+        if let Some(active) = self.active_send.take() {
+            if active.desc.port == port {
+                self.send_token_port.remove(&active.desc.token_id);
+            } else {
+                self.active_send = Some(active);
+            }
+        }
+        let purged: Vec<StreamKey> = self
+            .tx_streams
+            .keys()
+            .filter(|k| k.port == port)
+            .copied()
+            .collect();
+        for key in purged {
+            if let Some(s) = self.tx_streams.remove(&key) {
+                for c in s.retained() {
+                    self.free_tx_slabs.push(c.slab);
+                    self.send_token_port.remove(&c.msg_id);
+                }
+            }
+            self.tx_assign_seq.remove(&key);
+            self.tx_syn_seq.remove(&key);
+        }
+        self.pending_resend.retain(|c| c.src_port != port);
+    }
+
+    /// Send descriptors queued on the interface but not yet active (tests
+    /// and recovery-idempotency checks).
+    pub fn queued_sends(&self) -> usize {
+        self.send_q_high.len() + self.send_q_low.len()
     }
 
     /// `true` if `port` is open.
@@ -949,14 +1007,22 @@ impl McpMachine {
             SimDuration::ZERO
         };
         let cost = match job {
-            HdmaJob::Stage { rec, stream, .. } => {
-                let cost = self.run_send_chunk(&rec, false);
-                let now_seq = rec.seq;
-                self.tx_streams
-                    .entry(stream)
-                    .or_insert_with(|| SenderStream::new(now_seq, SimTime::ZERO))
-                    .admit(rec);
-                cost
+            HdmaJob::Stage { rec, stream, epoch, .. } => {
+                if epoch != self.ports[rec.src_port as usize].epoch {
+                    // The port was closed (recovery re-entry) after this
+                    // chunk was staged; its stream is gone and the backup
+                    // replay owns retransmission. Drop it on the floor.
+                    self.free_tx_slabs.push(rec.slab);
+                    SimDuration::from_nanos(100)
+                } else {
+                    let cost = self.run_send_chunk(&rec, false);
+                    let now_seq = rec.seq;
+                    self.tx_streams
+                        .entry(stream)
+                        .or_insert_with(|| SenderStream::new(now_seq, SimTime::ZERO))
+                        .admit(rec);
+                    cost
+                }
             }
             HdmaJob::Deliver {
                 rx_slab,
@@ -1077,6 +1143,7 @@ impl McpMachine {
                 sram_addr: FirmwareImage::slab_addr(rec.slab),
                 len,
             },
+            epoch: self.ports[rec.src_port as usize].epoch,
             rec,
             stream: key,
         });

@@ -454,9 +454,10 @@ impl App for MpiRankApp {
                 }
                 self.pump(ctx);
             }
-            GmEvent::SendError { .. } => {
-                // MPI over GM treats send errors as fatal; count them so
-                // tests can assert they never happen under FTGM.
+            GmEvent::SendError { .. } | GmEvent::InterfaceDead => {
+                // MPI over GM treats send errors (and an escalated-dead
+                // interface) as fatal; count them so tests can assert they
+                // never happen under FTGM.
                 self.state.borrow_mut().fatal_errors += 1;
             }
             GmEvent::SentOk { .. } | GmEvent::Alarm { .. } => {}

@@ -167,6 +167,39 @@ impl Topology {
         b.build()
     }
 
+    /// Convenience: `n` hosts on a ring of `n` switches.
+    ///
+    /// One host hangs off port 0 of each switch; the switches close a
+    /// cycle on ports 7→6. Routes between non-adjacent hosts take multiple
+    /// switch hops, and the cycle gives the mapper two candidate
+    /// directions — the shape chaos campaigns use for multi-node,
+    /// multi-hop fault scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `n > 255`.
+    pub fn ring(n: usize) -> Topology {
+        assert!((2..=255).contains(&n), "ring topology needs 2..=255 hosts");
+        let mut b = Topology::builder();
+        b.add_nodes(n);
+        let sws: Vec<SwitchId> = (0..n).map(|_| b.add_switch(8)).collect();
+        for (i, &sw) in sws.iter().enumerate() {
+            b.connect(
+                Endpoint::Nic(NodeId(i as u16)),
+                Endpoint::SwitchPort { switch: sw, port: 0 },
+            );
+            let next = sws[(i + 1) % n];
+            b.connect(
+                Endpoint::SwitchPort { switch: sw, port: 7 },
+                Endpoint::SwitchPort {
+                    switch: next,
+                    port: 6,
+                },
+            );
+        }
+        b.build()
+    }
+
     /// Convenience: hosts spread across a chain of switches.
     ///
     /// `hosts_per_switch` hosts hang off each of `switches` switches; the
@@ -350,6 +383,26 @@ mod tests {
         for i in 0..5 {
             assert!(t.nic_link(NodeId(i)).is_some());
         }
+    }
+
+    #[test]
+    fn ring_closes_the_cycle() {
+        let t = Topology::ring(4);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.switch_count(), 4);
+        // 4 host links + 4 inter-switch links close the cycle.
+        assert_eq!(t.links().len(), 8);
+        for i in 0..4 {
+            assert!(t.nic_link(NodeId(i)).is_some());
+            assert!(t.switch_port_link(SwitchId(i), 6).is_some());
+            assert!(t.switch_port_link(SwitchId(i), 7).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=255")]
+    fn ring_rejects_single_node() {
+        Topology::ring(1);
     }
 
     #[test]

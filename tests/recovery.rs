@@ -5,10 +5,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use ftgm_core::FtSystem;
+use ftgm_core::{restore_port_state, FtSystem};
 use ftgm_faults::{Outcome, RunConfig};
 use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
 use ftgm_gm::{World, WorldConfig};
+use ftgm_lanai::timers::TimerId;
 use ftgm_net::NodeId;
 use ftgm_sim::SimDuration;
 
@@ -134,6 +135,88 @@ fn injected_bit_flip_hang_recovers_transparently() {
         }
     }
     assert!(seen_hang, "no hang among the probed seeds");
+}
+
+#[test]
+fn busy_clears_and_watchdog_rearms_after_each_recovery() {
+    // Two hangs in sequence: each recovery must leave the FTD idle and the
+    // IT1 watchdog armed, or the *next* hang goes undetected.
+    let (mut w, ft) = ft_world();
+    let stats = traffic(&mut w, NodeId(0), 0, NodeId(1), 2);
+    for round in 1..=2u64 {
+        w.run_for(SimDuration::from_ms(100));
+        ft.inject_forced_hang(&mut w, NodeId(1));
+        w.run_for(SimDuration::from_secs(3));
+        assert_eq!(ft.recoveries(NodeId(1)), round);
+        assert!(!ft.busy(NodeId(1)), "round {round}: FTD still busy");
+        let now = w.now();
+        assert!(
+            w.nodes[1].mcp.chip.timer_count(TimerId::It1, now) > 0,
+            "round {round}: IT1 watchdog not re-armed"
+        );
+    }
+    let s = stats.borrow();
+    assert!(s.clean(), "{s:?}");
+}
+
+#[test]
+fn false_alarm_leaves_ftd_ready_for_real_hang() {
+    // A FATAL with no hang behind it (the chip is fine, so the magic-word
+    // probe clears) must end as a false alarm that leaves busy clear and
+    // the watchdog armed — a real hang right after is still healed.
+    let (mut w, ft) = ft_world();
+    let stats = traffic(&mut w, NodeId(0), 0, NodeId(1), 2);
+    w.run_for(SimDuration::from_ms(50));
+    let hook = w.hooks.fatal_irq.clone().expect("FT system installed");
+    hook(&mut w, NodeId(1));
+    w.run_for(SimDuration::from_ms(50));
+    assert_eq!(ft.false_alarms(NodeId(1)), 1);
+    assert_eq!(ft.recoveries(NodeId(1)), 0, "no spurious reset");
+    assert!(!ft.busy(NodeId(1)), "false alarm left the FTD busy");
+    let now = w.now();
+    assert!(
+        w.nodes[1].mcp.chip.timer_count(TimerId::It1, now) > 0,
+        "IT1 watchdog not armed after false alarm"
+    );
+    ft.inject_forced_hang(&mut w, NodeId(1));
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(ft.recoveries(NodeId(1)), 1, "real hang after false alarm healed");
+    assert!(!ft.busy(NodeId(1)));
+    let s = stats.borrow();
+    assert!(s.clean(), "{s:?}");
+}
+
+#[test]
+fn restore_port_state_reentry_is_idempotent() {
+    // The retry path can re-run the FAULT_DETECTED handler for a port that
+    // already restored once. The second pass must not double-queue sends
+    // or re-advance receiver stream state.
+    let (mut w, _ft) = ft_world();
+    let stats = traffic(&mut w, NodeId(0), 0, NodeId(1), 2);
+    w.run_for(SimDuration::from_ms(50));
+
+    // Sender side: replaying the backup twice queues each send once.
+    let outstanding = w.nodes[0].ports[0]
+        .as_ref()
+        .map(|hp| hp.backup.outstanding_sends().len())
+        .unwrap_or(0);
+    let s1 = restore_port_state(&mut w, NodeId(0), 0);
+    let q1 = w.nodes[0].mcp.queued_sends();
+    let s2 = restore_port_state(&mut w, NodeId(0), 0);
+    let q2 = w.nodes[0].mcp.queued_sends();
+    assert_eq!(s1, s2, "second pass replays the same backup");
+    assert_eq!(q1, q2, "sends double-queued on re-entry");
+    assert!(q2 <= outstanding, "{q2} queued from {outstanding} outstanding");
+
+    // Receiver side too: double restore, then traffic must stay
+    // exactly-once (restored stream seqnums reject the replayed dupes).
+    restore_port_state(&mut w, NodeId(1), 2);
+    restore_port_state(&mut w, NodeId(1), 2);
+    let before = stats.borrow().received_ok;
+    w.run_for(SimDuration::from_secs(1));
+    let s = stats.borrow();
+    assert!(s.received_ok > before, "traffic resumed after double restore");
+    assert!(s.clean(), "double restore broke exactly-once: {s:?}");
 }
 
 #[test]
