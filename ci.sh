@@ -9,8 +9,9 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
-# Chaos smoke: the deterministic multi-fault scenario set. Runs in release
-# (the scenarios simulate seconds of cluster time; debug builds are gated
-# off with #[ignore] to keep the tier under budget).
-cargo test --release -q -p ftgm-core --test chaos_smoke
+# Chaos smoke + determinism regression: the deterministic multi-fault
+# scenario set, and the byte-identical-exports check across thread counts.
+# Both run in release (the scenarios simulate seconds of cluster time;
+# debug builds are gated off with #[ignore] to keep the tier under budget).
+cargo test --release -q -p ftgm-core --test chaos_smoke --test determinism
 cargo run -q -p ftgm-lint -- --deny-new --quiet

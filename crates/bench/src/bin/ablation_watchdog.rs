@@ -13,7 +13,7 @@ use ftgm_core::FtSystem;
 use ftgm_gm::apps::{Streamer, StreamerStats};
 use ftgm_gm::{World, WorldConfig};
 use ftgm_net::NodeId;
-use ftgm_sim::SimDuration;
+use ftgm_sim::{SimDuration, TraceKind};
 
 fn run_setting(ticks: u32) -> (u64, f64) {
     let mut config = WorldConfig::ftgm();
@@ -33,13 +33,13 @@ fn run_setting(ticks: u32) -> (u64, f64) {
     // Phase 2: inject a hang — measure detection latency.
     ft.inject_forced_hang(&mut w, NodeId(0));
     w.run_for(SimDuration::from_secs(3));
-    let fault = w.trace.find("forced hang").map(|e| e.at);
+    let fault = w
+        .trace
+        .first_where(|k| matches!(k, TraceKind::ForcedHang { .. }))
+        .map(|e| e.at);
     let woken = w
         .trace
-        .events()
-        .iter()
-        .rev()
-        .find(|e| e.message.contains("driver wakes FTD"))
+        .last_where(|k| matches!(k, TraceKind::FtdWoken { .. }))
         .map(|e| e.at);
     let detection = match (fault, woken) {
         (Some(f), Some(d)) if d >= f => d.saturating_since(f).as_micros_f64(),

@@ -4,9 +4,13 @@
 //!
 //! Usage: `chaos [seed] [out.json]` (defaults: seed 2003,
 //! `results/chaos_summary.json`). Identical seeds reproduce identical
-//! summaries byte-for-byte.
+//! summaries byte-for-byte. Alongside the summary, the per-scenario
+//! metrics snapshots land in `results/metrics_summary.json` and each
+//! scenario's trace exports land next to it (`results/traces/<name>.jsonl`
+//! and `.chrome.json`, loadable in Perfetto / `about:tracing`).
 
-use ftgm_faults::chaos::{reports_to_json, run_scenario, standard_scenarios};
+use ftgm_faults::campaign::run_scenarios_parallel;
+use ftgm_faults::chaos::{reports_to_json, standard_scenarios};
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -19,15 +23,18 @@ fn main() {
 
     let scenarios = standard_scenarios();
     eprintln!("chaos: {} scenarios (seed {seed})…", scenarios.len());
-    let mut reports = Vec::new();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let artifacts = run_scenarios_parallel(&scenarios, seed, threads);
+
     println!("\nChaos campaign (seed {seed})\n");
     println!(
         "{:<30} {:>8} {:>10} {:>11} {:>9} {:>10}",
         "scenario", "verdict", "recoveries", "escalations", "delivered", "violations"
     );
-    for s in &scenarios {
-        eprintln!("  running {}…", s.name);
-        let r = run_scenario(s, seed);
+    for a in &artifacts {
+        let r = &a.report;
         println!(
             "{:<30} {:>8} {:>10} {:>11} {:>9} {:>10}",
             r.scenario,
@@ -40,8 +47,8 @@ fn main() {
         for v in &r.violations {
             println!("    violation: {v}");
         }
-        reports.push(r);
     }
+    let reports: Vec<_> = artifacts.iter().map(|a| a.report.clone()).collect();
     let failed = reports.iter().filter(|r| !r.ok()).count();
     println!(
         "\n{}/{} scenarios passed every oracle",
@@ -50,13 +57,48 @@ fn main() {
     );
 
     let json = reports_to_json(&reports);
-    match std::fs::write(&out_path, &json) {
-        Ok(()) => eprintln!("wrote {out_path}"),
-        Err(e) => {
-            eprintln!("cannot write {out_path}: {e}");
-            std::process::exit(1);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+
+    // Per-scenario metrics snapshots, one summary file.
+    let mut metrics_json = format!("{{\n  \"seed\": {seed},\n  \"scenarios\": {{");
+    for (i, a) in artifacts.iter().enumerate() {
+        if i > 0 {
+            metrics_json.push(',');
+        }
+        metrics_json.push_str(&format!("\n    \"{}\": ", a.report.scenario));
+        metrics_json.push_str(&a.report.metrics.to_json_indented(4));
+    }
+    metrics_json.push_str("\n  }\n}\n");
+    let metrics_path = "results/metrics_summary.json";
+    if let Err(e) = std::fs::write(metrics_path, &metrics_json) {
+        eprintln!("cannot write {metrics_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {metrics_path}");
+
+    // Trace exports: JSON-lines events + Chrome trace_event per scenario.
+    if let Err(e) = std::fs::create_dir_all("results/traces") {
+        eprintln!("cannot create results/traces: {e}");
+        std::process::exit(1);
+    }
+    for a in &artifacts {
+        let base = format!("results/traces/{}", a.report.scenario);
+        for (path, body) in [
+            (format!("{base}.jsonl"), &a.trace_jsonl),
+            (format!("{base}.chrome.json"), &a.chrome_trace),
+        ] {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
+    eprintln!("wrote results/traces/<scenario>.{{jsonl,chrome.json}}");
+
     if failed > 0 {
         std::process::exit(2);
     }

@@ -23,7 +23,7 @@ use ftgm_gm::World;
 use ftgm_host::Pid;
 use ftgm_mcp::layout;
 use ftgm_net::NodeId;
-use ftgm_sim::{SimDuration, SimTime};
+use ftgm_sim::{RecoveryPhase, SimDuration, SimTime, TraceKind};
 
 /// The magic value the FTD writes for its liveness probe.
 pub const MAGIC_VALUE: u32 = 0x0F7D_600D;
@@ -139,9 +139,8 @@ pub fn on_fatal_irq(world: &mut World, node: NodeId, ftd: &mut FtdState) -> bool
     ftd.busy = true;
     let n = node.0 as usize;
     world.nodes[n].host.procs.wake(ftd.pid);
-    world
-        .trace
-        .record(world.now(), "ftd", format!("{node}: driver wakes FTD"));
+    let now = world.now();
+    world.trace.emit(now, TraceKind::FtdWoken { node: node.0 });
     true
 }
 
@@ -165,15 +164,9 @@ pub fn run_ftd_probe(world: &mut World, node: NodeId) -> SimDuration {
         .sram
         .write_u32(layout::MAGIC_WORD, MAGIC_VALUE)
         .is_ok();
-    world.trace.record(
-        now,
-        "ftd",
-        if wrote {
-            format!("{node}: magic-word probe written")
-        } else {
-            format!("{node}: magic-word probe write FAILED (treating as hung)")
-        },
-    );
+    world
+        .trace
+        .emit(now, TraceKind::ProbeWritten { node: node.0, ok: wrote });
     world.nodes[n].host.driver.params().magic_probe_wait
 }
 
@@ -231,6 +224,20 @@ impl FtdPhase {
             FtdPhase::RestartEngines => 3,
             FtdPhase::RestorePageTable => 4,
             FtdPhase::RestoreRoutes => 5,
+        }
+    }
+
+    /// The trace layer's name for this phase (so emitted
+    /// [`TraceKind::RecoveryPhaseDone`] events and the metrics histograms
+    /// stay decoupled from this executable type).
+    pub fn recovery_phase(self) -> RecoveryPhase {
+        match self {
+            FtdPhase::Reset => RecoveryPhase::Reset,
+            FtdPhase::ClearSram => RecoveryPhase::ClearSram,
+            FtdPhase::ReloadMcp => RecoveryPhase::ReloadMcp,
+            FtdPhase::RestartEngines => RecoveryPhase::RestartEngines,
+            FtdPhase::RestorePageTable => RecoveryPhase::RestorePageTable,
+            FtdPhase::RestoreRoutes => RecoveryPhase::RestoreRoutes,
         }
     }
 

@@ -50,7 +50,7 @@ use std::rc::Rc;
 
 use ftgm_gm::World;
 use ftgm_net::NodeId;
-use ftgm_sim::SimDuration;
+use ftgm_sim::{SimDuration, TraceKind};
 
 use ftd::{FtdPhase, FtdState, FTD_WAKE_LATENCY};
 pub use ftd::RetryPolicy;
@@ -113,21 +113,17 @@ impl FtSystem {
                 let mut st = s2.borrow_mut();
                 if st[n].dead {
                     drop(st);
-                    w.trace.record(
-                        w.now(),
-                        "ftd",
-                        format!("{node}: FATAL on dead interface ignored"),
-                    );
+                    let now = w.now();
+                    w.trace
+                        .emit(now, TraceKind::FtdFatalIgnoredDead { node: node.0 });
                     return;
                 }
                 if st[n].busy {
                     st[n].pending_reverify = true;
                     drop(st);
-                    w.trace.record(
-                        w.now(),
-                        "ftd",
-                        format!("{node}: FATAL during recovery — re-verification queued"),
-                    );
+                    let now = w.now();
+                    w.trace
+                        .emit(now, TraceKind::FtdReverifyQueued { node: node.0 });
                     return;
                 }
                 st[n].busy = true;
@@ -144,8 +140,8 @@ impl FtSystem {
                 }
                 w.nodes[n].host.procs.wake(st[n].pid);
             }
-            w.trace
-                .record(w.now(), "ftd", format!("{node}: driver wakes FTD"));
+            let now = w.now();
+            w.trace.emit(now, TraceKind::FtdWoken { node: node.0 });
             let s3 = s2.clone();
             w.schedule_call(FTD_WAKE_LATENCY, move |w| {
                 FtSystem::ftd_main(w, node, s3, policy);
@@ -160,29 +156,28 @@ impl FtSystem {
         world.hooks.fault_event = Some(Rc::new(move |w: &mut World, node: NodeId, port: u8| {
             let n = node.0 as usize;
             let epoch = s4.borrow()[n].epoch;
-            w.trace.record(
-                w.now(),
-                "recov",
-                format!("{node} port {port}: FAULT_DETECTED entered gm_unknown()"),
-            );
+            let now = w.now();
+            w.trace
+                .emit(now, TraceKind::GmUnknownEntered { node: node.0, port });
             let s5 = s4.clone();
             w.schedule_call(recovery::PER_PROCESS_RECOVERY, move |w| {
                 if s5.borrow()[n].epoch != epoch {
-                    w.trace.record(
-                        w.now(),
-                        "recov",
-                        format!("{node} port {port}: stale handler superseded by newer recovery"),
-                    );
+                    let now = w.now();
+                    w.trace
+                        .emit(now, TraceKind::StaleHandlerSuperseded { node: node.0, port });
                     return;
                 }
                 let summary = recovery::restore_port_state(w, node, port);
-                w.trace.record(
-                    w.now(),
-                    "recov",
-                    format!(
-                        "{node} port {port}: port reopened ({} sends, {} recvs, {} streams restored)",
-                        summary.sends_replayed, summary.recvs_replayed, summary.streams_restored
-                    ),
+                let now = w.now();
+                w.trace.emit(
+                    now,
+                    TraceKind::PortReopened {
+                        node: node.0,
+                        port,
+                        sends_replayed: summary.sends_replayed as u32,
+                        recvs_replayed: summary.recvs_replayed as u32,
+                        streams_restored: summary.streams_restored as u32,
+                    },
                 );
             });
         }));
@@ -198,39 +193,32 @@ impl FtSystem {
         policy: RetryPolicy,
     ) {
         let n = node.0 as usize;
-        world
-            .trace
-            .record(world.now(), "ftd", format!("{node}: FTD running"));
+        let now = world.now();
+        world.trace.emit(now, TraceKind::FtdRunning { node: node.0 });
         let wait = ftd::run_ftd_probe(world, node);
         world.schedule_call(wait, move |w| {
             if !ftd::probe_confirms_hang(w, node) {
                 // False alarm: the MCP cleared the magic word. Re-arm the
                 // watchdog; if another FATAL queued meanwhile, re-probe
                 // instead of sleeping.
-                w.trace.record(
-                    w.now(),
-                    "ftd",
-                    format!("{node}: probe cleared — false alarm"),
-                );
-                let ticks = w.config().mcp.watchdog_ticks;
                 let now = w.now();
+                w.trace.emit(now, TraceKind::ProbeFalseAlarm { node: node.0 });
+                let ticks = w.config().mcp.watchdog_ticks;
                 // Acknowledge the interrupt (drop the line) and re-arm.
                 w.nodes[n].mcp.chip.clear_isr(ftgm_lanai::chip::isr::IT1);
                 w.nodes[n]
                     .mcp
                     .chip
                     .arm_timer(ftgm_lanai::timers::TimerId::It1, now, ticks);
+                w.trace
+                    .emit(now, TraceKind::WatchdogArmed { node: node.0, ticks });
                 w.sync_node(n);
                 let mut st = states.borrow_mut();
                 st[n].false_alarms += 1;
                 if st[n].pending_reverify {
                     st[n].pending_reverify = false;
                     drop(st);
-                    w.trace.record(
-                        w.now(),
-                        "ftd",
-                        format!("{node}: queued FATAL — probing again"),
-                    );
+                    w.trace.emit(now, TraceKind::ProbeRequeued { node: node.0 });
                     FtSystem::ftd_main(w, node, states, policy);
                     return;
                 }
@@ -240,11 +228,9 @@ impl FtSystem {
                 w.nodes[n].host.procs.sleep(pid);
                 return;
             }
-            w.trace.record(
-                w.now(),
-                "ftd",
-                format!("{node}: magic word intact — hang confirmed"),
-            );
+            let now = w.now();
+            w.trace
+                .emit(now, TraceKind::ProbeConfirmedHang { node: node.0 });
             FtSystem::recovery_attempt(w, node, states, policy);
         });
     }
@@ -267,13 +253,14 @@ impl FtSystem {
             st[n].pending_reverify = false;
             st[n].attempts
         };
-        world.trace.record(
-            world.now(),
-            "ftd",
-            format!(
-                "{node}: reset/reload attempt {attempt}/{}",
-                policy.max_attempts
-            ),
+        let now = world.now();
+        world.trace.emit(
+            now,
+            TraceKind::RecoveryAttempt {
+                node: node.0,
+                attempt,
+                max_attempts: policy.max_attempts,
+            },
         );
         // Run the phased reset/restore sequence.
         let mut cumulative = SimDuration::ZERO;
@@ -282,8 +269,15 @@ impl FtSystem {
             cumulative += dur;
             world.schedule_call(cumulative, move |w| {
                 phase.apply(w, node);
-                w.trace
-                    .record(w.now(), "ftd", format!("{node}: {} done", phase.label()));
+                let now = w.now();
+                w.trace.emit(
+                    now,
+                    TraceKind::RecoveryPhaseDone {
+                        node: node.0,
+                        phase: phase.recovery_phase(),
+                        dur,
+                    },
+                );
                 // Chaos hook: lets experiments inject faults timed to land
                 // inside this exact recovery phase.
                 if let Some(hook) = w.hooks.ftd_phase.clone() {
@@ -295,14 +289,13 @@ impl FtSystem {
             // Boot the reloaded MCP: timers armed, watchdog re-armed.
             let now = w.now();
             w.nodes[n].mcp.boot(now);
+            let ticks = w.config().mcp.watchdog_ticks;
+            w.trace
+                .emit(now, TraceKind::WatchdogArmed { node: node.0, ticks });
             w.sync_node(n);
             // Before declaring success, confirm the reloaded MCP is alive:
             // write the magic word again and require L_timer() to clear it.
-            w.trace.record(
-                w.now(),
-                "ftd",
-                format!("{node}: verifying reloaded MCP"),
-            );
+            w.trace.emit(now, TraceKind::ReloadVerifying { node: node.0 });
             let wait = ftd::run_ftd_probe(w, node);
             let states = states.clone();
             w.schedule_call(wait, move |w| {
@@ -324,23 +317,17 @@ impl FtSystem {
         policy: RetryPolicy,
     ) {
         let n = node.0 as usize;
-        world.trace.record(
-            world.now(),
-            "ftd",
-            format!("{node}: reloaded MCP verified alive"),
-        );
+        let now = world.now();
+        world.trace.emit(now, TraceKind::ReloadVerified { node: node.0 });
         let open_ports: Vec<u8> = (0..8u8)
             .filter(|&p| world.nodes[n].ports[p as usize].is_some())
             .collect();
         for port in &open_ports {
             world.post_fault_detected(node, *port);
-            world.trace.record(
-                world.now(),
-                "ftd",
-                format!("{node}: FAULT_DETECTED posted port {port}"),
-            );
+            world
+                .trace
+                .emit(now, TraceKind::FaultDetectedPosted { node: node.0, port: *port });
         }
-        let now = world.now();
         let mut st = states.borrow_mut();
         st[n].recoveries += 1;
         st[n].last_recovery_end = Some(now);
@@ -350,11 +337,7 @@ impl FtSystem {
             // fresh confirmed hang).
             st[n].pending_reverify = false;
             drop(st);
-            world.trace.record(
-                now,
-                "ftd",
-                format!("{node}: queued FATAL — probing again"),
-            );
+            world.trace.emit(now, TraceKind::ProbeRequeued { node: node.0 });
             FtSystem::ftd_main(world, node, states, policy);
             return;
         }
@@ -362,9 +345,7 @@ impl FtSystem {
         let pid = st[n].pid;
         drop(st);
         world.nodes[n].host.procs.sleep(pid);
-        world
-            .trace
-            .record(now, "ftd", format!("{node}: FTD sleeping again"));
+        world.trace.emit(now, TraceKind::FtdSleeping { node: node.0 });
     }
 
     /// Post-reload verification failed: retry with exponential backoff, or
@@ -384,13 +365,10 @@ impl FtSystem {
         };
         if attempts < policy.max_attempts {
             let backoff = policy.backoff_after(attempts);
-            world.trace.record(
-                world.now(),
-                "ftd",
-                format!(
-                    "{node}: reload verification FAILED (attempt {attempts}) — retry in {}us",
-                    backoff.as_nanos() / 1_000
-                ),
+            let now = world.now();
+            world.trace.emit(
+                now,
+                TraceKind::RetryScheduled { node: node.0, attempt: attempts, backoff },
             );
             world.schedule_call(backoff, move |w| {
                 FtSystem::recovery_attempt(w, node, states, policy);
@@ -400,17 +378,15 @@ impl FtSystem {
         // Escalate: the card will not come back. Mask further interrupts,
         // mark the interface dead, and surface the failure to every
         // application instead of leaving sends hung forever.
-        world.trace.record(
-            world.now(),
-            "ftd",
-            format!("{node}: escalating — interface DEAD after {attempts} failed reloads"),
-        );
+        let now = world.now();
+        world
+            .trace
+            .emit(now, TraceKind::Escalated { node: node.0, attempts });
         world.nodes[n].host.driver.set_interrupts_enabled(false);
         let failed = world.fail_outstanding_sends(node);
-        world.trace.record(
-            world.now(),
-            "ftd",
-            format!("{node}: {failed} outstanding sends failed back to applications"),
+        world.trace.emit(
+            now,
+            TraceKind::OutstandingSendsFailed { node: node.0, count: failed as u64 },
         );
         let mut st = states.borrow_mut();
         st[n].dead = true;
@@ -466,9 +442,8 @@ impl FtSystem {
     /// the activation in the trace (the campaign's injected bit flips
     /// trace their own activation instead).
     pub fn inject_forced_hang(&self, world: &mut World, node: NodeId) {
-        world
-            .trace
-            .record(world.now(), "fault", format!("{node}: forced hang"));
+        let now = world.now();
+        world.trace.emit(now, TraceKind::ForcedHang { node: node.0 });
         world.nodes[node.0 as usize].mcp.force_hang();
     }
 }
@@ -504,8 +479,10 @@ mod tests {
         assert_eq!(ft.recoveries(NodeId(0)), 1);
         assert!(!ft.busy(NodeId(0)));
         assert!(!w.nodes[0].mcp.chip.is_hung(), "chip reloaded");
-        let report = w.trace.find("hang confirmed");
-        assert!(report.is_some());
+        let confirmed = w
+            .trace
+            .first_where(|k| matches!(k, TraceKind::ProbeConfirmedHang { .. }));
+        assert!(confirmed.is_some());
     }
 
     #[test]
@@ -516,10 +493,22 @@ mod tests {
         w.run_for(SimDuration::from_secs(3));
         // No ports open → no FAULT_DETECTED/port milestones; measure the
         // detection leg directly from the trace.
-        let fault = w.trace.find("forced hang").unwrap().at;
-        let woken = w.trace.find("driver wakes FTD").unwrap().at;
+        let fault = w
+            .trace
+            .first_where(|k| matches!(k, TraceKind::ForcedHang { .. }))
+            .unwrap()
+            .at;
+        let woken = w
+            .trace
+            .first_where(|k| matches!(k, TraceKind::FtdWoken { .. }))
+            .unwrap()
+            .at;
         let detection = woken.saturating_since(fault);
         let us = detection.as_micros_f64();
+        // The derived detection-latency histogram must agree.
+        let hist = w.trace.metrics().hist(ftgm_sim::HistId::DetectionLatency);
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.sum, detection.as_nanos());
         assert!(
             (100.0..1_200.0).contains(&us),
             "detection {us}us outside watchdog class"

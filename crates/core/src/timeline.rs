@@ -10,7 +10,7 @@
 //! * **per-process recovery time** — `FAULT_DETECTED` delivered → port
 //!   reopened (~900,000 µs).
 
-use ftgm_sim::{SimDuration, SimTime, Trace};
+use ftgm_sim::{SimDuration, SimTime, Trace, TraceKind};
 
 /// The recovery-time breakdown of one fault-recovery episode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,18 +31,23 @@ impl RecoveryReport {
     /// Returns `None` if any milestone is missing (e.g. the fault was not
     /// detected).
     pub fn from_trace(trace: &Trace) -> Option<RecoveryReport> {
-        let find_last = |pred: &dyn Fn(&str) -> bool| -> Option<SimTime> {
-            trace
-                .events()
-                .iter()
-                .rev()
-                .find(|e| pred(&e.message))
-                .map(|e| e.at)
-        };
-        let fault_at = find_last(&|m| m.contains("fault injected") || m.contains("forced hang"))?;
-        let ftd_woken_at = find_last(&|m| m.contains("driver wakes FTD"))?;
-        let ftd_done_at = find_last(&|m| m.contains("FAULT_DETECTED posted"))?;
-        let ports_reopened_at = find_last(&|m| m.contains("port reopened"))?;
+        let fault_at = trace
+            .last_where(|k| {
+                matches!(
+                    k,
+                    TraceKind::FaultInjected { .. } | TraceKind::ForcedHang { .. }
+                )
+            })?
+            .at;
+        let ftd_woken_at = trace
+            .last_where(|k| matches!(k, TraceKind::FtdWoken { .. }))?
+            .at;
+        let ftd_done_at = trace
+            .last_where(|k| matches!(k, TraceKind::FaultDetectedPosted { .. }))?
+            .at;
+        let ports_reopened_at = trace
+            .last_where(|k| matches!(k, TraceKind::PortReopened { .. }))?
+            .at;
         Some(RecoveryReport {
             fault_at,
             ftd_woken_at,
@@ -82,10 +87,19 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut tr = Trace::enabled();
-        tr.record(t(0), "fault", "node1: fault injected (bit 100)");
-        tr.record(t(800), "ftd", "node1: driver wakes FTD");
-        tr.record(t(765_800), "ftd", "node1: FAULT_DETECTED posted port 2");
-        tr.record(t(1_665_800), "recov", "node1 port 2: port reopened (…)");
+        tr.emit(t(0), TraceKind::FaultInjected { node: 1, bit: 100 });
+        tr.emit(t(800), TraceKind::FtdWoken { node: 1 });
+        tr.emit(t(765_800), TraceKind::FaultDetectedPosted { node: 1, port: 2 });
+        tr.emit(
+            t(1_665_800),
+            TraceKind::PortReopened {
+                node: 1,
+                port: 2,
+                sends_replayed: 0,
+                recvs_replayed: 0,
+                streams_restored: 0,
+            },
+        );
         tr
     }
 
@@ -101,17 +115,26 @@ mod tests {
     #[test]
     fn incomplete_trace_yields_none() {
         let mut tr = Trace::enabled();
-        tr.record(t(0), "fault", "node1: fault injected (bit 5)");
+        tr.emit(t(0), TraceKind::FaultInjected { node: 1, bit: 5 });
         assert!(RecoveryReport::from_trace(&tr).is_none());
     }
 
     #[test]
     fn uses_most_recent_episode() {
         let mut tr = sample_trace();
-        tr.record(t(5_000_000), "fault", "node1: fault injected (bit 7)");
-        tr.record(t(5_000_800), "ftd", "node1: driver wakes FTD");
-        tr.record(t(5_765_800), "ftd", "node1: FAULT_DETECTED posted port 2");
-        tr.record(t(6_665_800), "recov", "node1 port 2: port reopened (…)");
+        tr.emit(t(5_000_000), TraceKind::FaultInjected { node: 1, bit: 7 });
+        tr.emit(t(5_000_800), TraceKind::FtdWoken { node: 1 });
+        tr.emit(t(5_765_800), TraceKind::FaultDetectedPosted { node: 1, port: 2 });
+        tr.emit(
+            t(6_665_800),
+            TraceKind::PortReopened {
+                node: 1,
+                port: 2,
+                sends_replayed: 0,
+                recvs_replayed: 0,
+                streams_restored: 0,
+            },
+        );
         let r = RecoveryReport::from_trace(&tr).unwrap();
         assert_eq!(r.fault_at, t(5_000_000));
         assert_eq!(r.detection(), SimDuration::from_us(800));

@@ -9,6 +9,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use ftgm_sim::Metrics;
+
+use crate::chaos::{run_scenario_artifacts, ChaosScenario, ScenarioArtifacts};
 use crate::classify::Outcome;
 use crate::inject::{run_one, RunConfig, RunResult};
 
@@ -60,6 +63,17 @@ impl CampaignResult {
             .filter(|r| r.outcome == Outcome::LocalInterfaceHung && r.recoveries > 0)
             .count() as u64
     }
+
+    /// Merges every run's metrics snapshot into one campaign-wide registry
+    /// (counters and histogram buckets sum; merging is order-independent,
+    /// so the result does not depend on thread count).
+    pub fn merged_metrics(&self) -> Metrics {
+        let mut merged = Metrics::default();
+        for r in &self.runs {
+            merged.merge(&r.metrics);
+        }
+        merged
+    }
 }
 
 /// Runs `runs` injection experiments on `threads` worker threads.
@@ -100,6 +114,42 @@ pub fn run_campaign(config: &RunConfig, seed: u64, runs: u64, threads: usize) ->
     }
 }
 
+/// Runs every scenario (with its exported artifacts) on `threads` worker
+/// threads. Output order matches the input order, and — because each
+/// scenario owns a private world seeded only by `(scenario, seed)` — the
+/// artifacts are byte-identical regardless of `threads`.
+pub fn run_scenarios_parallel(
+    scenarios: &[ChaosScenario],
+    seed: u64,
+    threads: usize,
+) -> Vec<ScenarioArtifacts> {
+    let threads = threads.max(1);
+    let total = scenarios.len() as u64;
+    let cursor = AtomicU64::new(0);
+    let results: Mutex<Vec<Option<ScenarioArtifacts>>> = Mutex::new(vec![None; scenarios.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let artifacts = run_scenario_artifacts(&scenarios[i as usize], seed);
+                results.lock().expect("scenario results lock poisoned")[i as usize] =
+                    Some(artifacts);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("scenario results lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("all scenarios completed"))
+        .collect()
+}
+
 impl CampaignResult {
     /// Serializes per-run records as CSV (`run,bit,outcome,recoveries,
     /// recovered_clean,progress`), for external analysis.
@@ -135,11 +185,13 @@ impl CampaignResult {
             out.push_str(&format!("\n    \"{}\": {:.1}", o.label(), self.percent(*o)));
         }
         out.push_str(&format!(
-            "\n  }},\n  \"hangs\": {},\n  \"hangs_detected\": {},\n  \"hangs_recovered\": {}\n}}\n",
+            "\n  }},\n  \"hangs\": {},\n  \"hangs_detected\": {},\n  \"hangs_recovered\": {},\n  \"metrics\": ",
             self.hangs(),
             self.hangs_detected(),
             self.hangs_recovered()
         ));
+        out.push_str(&self.merged_metrics().to_json_indented(2));
+        out.push_str("\n}\n");
         out
     }
 

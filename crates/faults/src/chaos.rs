@@ -28,7 +28,7 @@ use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
 use ftgm_gm::{World, WorldConfig};
 use ftgm_net::fabric::LinkFaults;
 use ftgm_net::NodeId;
-use ftgm_sim::{SimDuration, SimRng};
+use ftgm_sim::{export, Metrics, SimDuration, SimRng, TraceKind};
 
 use crate::classify::{classify_resolution, Resolution};
 use crate::inject::{flip_random_bit, InjectionTarget};
@@ -242,6 +242,9 @@ pub struct ChaosReport {
     pub flows: Vec<FlowReport>,
     /// Oracle violations, human-readable.
     pub violations: Vec<String>,
+    /// The run's metrics snapshot (counters + histograms), taken from the
+    /// world trace at the end of the horizon.
+    pub metrics: Metrics,
 }
 
 impl ChaosReport {
@@ -295,7 +298,9 @@ impl ChaosReport {
             }
             out.push_str(&format!("\n    \"{}\"", v.replace('"', "'")));
         }
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ],\n  \"metrics\": ");
+        out.push_str(&self.metrics.to_json_indented(2));
+        out.push_str("\n}\n");
         out
     }
 }
@@ -323,9 +328,7 @@ fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
         }
         ChaosAction::ForceHang { node } => {
             let now = world.now();
-            world
-                .trace
-                .record(now, "fault", format!("node{node}: forced hang"));
+            world.trace.emit(now, TraceKind::ForcedHang { node: *node });
             if let Some(n) = world.nodes.get_mut(*node as usize) {
                 n.mcp.force_hang();
             }
@@ -333,13 +336,11 @@ fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
         ChaosAction::NicLinkDown { node, duration } => {
             if let Some(link) = world.fabric.topology().nic_link(NodeId(*node)) {
                 let now = world.now();
-                world
-                    .trace
-                    .record(now, "fault", format!("node{node}: NIC link down"));
+                world.trace.emit(now, TraceKind::LinkDown { link });
                 world.fabric.set_link_up(link, false);
                 world.schedule_call(*duration, move |w| {
                     let t = w.now();
-                    w.trace.record(t, "fault", format!("link {link} back up"));
+                    w.trace.emit(t, TraceKind::LinkUp { link });
                     w.fabric.set_link_up(link, true);
                 });
             }
@@ -350,9 +351,7 @@ fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
             duration,
         } => {
             let now = world.now();
-            world
-                .trace
-                .record(now, "fault", "fabric noise window opens".to_string());
+            world.trace.emit(now, TraceKind::NoiseOpened);
             world.fabric.set_faults(Some(LinkFaults {
                 drop_prob: *drop_prob,
                 corrupt_prob: *corrupt_prob,
@@ -360,8 +359,7 @@ fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
             }));
             world.schedule_call(*duration, |w| {
                 let t = w.now();
-                w.trace
-                    .record(t, "fault", "fabric noise window closes".to_string());
+                w.trace.emit(t, TraceKind::NoiseClosed);
                 w.fabric.set_faults(None);
             });
         }
@@ -372,7 +370,40 @@ fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
 /// noise); identical `(scenario, seed)` pairs produce byte-identical
 /// reports.
 pub fn run_scenario(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
-    let config = WorldConfig::ftgm();
+    run_scenario_core(scenario, seed).0
+}
+
+/// One scenario's full observability output: the oracle report plus the
+/// exported trace/metrics artifacts (JSON-lines events, a Chrome
+/// `trace_event` file, and the metrics snapshot). Byte-identical across
+/// replays of the same `(scenario, seed)`.
+#[derive(Clone, Debug)]
+pub struct ScenarioArtifacts {
+    /// The oracle-checked report (same as [`run_scenario`] returns).
+    pub report: ChaosReport,
+    /// Every stored trace event, one JSON object per line.
+    pub trace_jsonl: String,
+    /// The trace in Chrome `trace_event` format (load in `about:tracing`
+    /// or Perfetto).
+    pub chrome_trace: String,
+    /// The metrics registry as standalone indented JSON.
+    pub metrics_json: String,
+}
+
+/// Runs a scenario and exports its trace and metrics alongside the report.
+pub fn run_scenario_artifacts(scenario: &ChaosScenario, seed: u64) -> ScenarioArtifacts {
+    let (report, world) = run_scenario_core(scenario, seed);
+    ScenarioArtifacts {
+        trace_jsonl: export::to_jsonl(&world.trace),
+        chrome_trace: export::to_chrome_trace(&world.trace),
+        metrics_json: world.trace.metrics().to_json_indented(0),
+        report,
+    }
+}
+
+fn run_scenario_core(scenario: &ChaosScenario, seed: u64) -> (ChaosReport, World) {
+    let mut config = WorldConfig::ftgm();
+    config.trace = true;
     let mut world = scenario.topology.build(config);
     let ft = FtSystem::install_with_policy(&mut world, scenario.policy);
 
@@ -542,13 +573,15 @@ pub fn run_scenario(scenario: &ChaosScenario, seed: u64) -> ChaosReport {
         }
     }
 
-    ChaosReport {
+    let report = ChaosReport {
         scenario: scenario.name.clone(),
         seed,
         nodes,
         flows,
         violations,
-    }
+        metrics: world.trace.metrics().clone(),
+    };
+    (report, world)
 }
 
 /// The standard scenario set: the acceptance scenarios CI's `chaos_smoke`

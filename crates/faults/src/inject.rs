@@ -18,7 +18,7 @@ use ftgm_core::FtSystem;
 use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
 use ftgm_gm::{World, WorldConfig};
 use ftgm_net::NodeId;
-use ftgm_sim::{SimDuration, SimRng};
+use ftgm_sim::{Metrics, SimDuration, SimRng, TraceKind};
 
 use crate::classify::{classify, Observables, Outcome};
 
@@ -123,6 +123,9 @@ pub struct RunResult {
     /// FTGM runs: whether traffic was fully clean *and* progressing at the
     /// end (the recovery-success criterion).
     pub recovered_clean: bool,
+    /// Snapshot of the run's metrics registry (empty when the world ran
+    /// with tracing disabled, e.g. Table 1 baselines).
+    pub metrics: Metrics,
 }
 
 /// The sender runs on node 0 (whose `send_chunk` is faulted); the
@@ -167,7 +170,7 @@ pub fn flip_random_bit(
     let now = world.now();
     world
         .trace
-        .record(now, "fault", format!("{node}: fault injected (bit {bit})"));
+        .emit(now, TraceKind::FaultInjected { node: node.0, bit });
     bit
 }
 
@@ -260,6 +263,7 @@ pub fn run_one(config: &RunConfig, seed: u64) -> RunResult {
         outcome,
         recoveries,
         recovered_clean,
+        metrics: world.trace.metrics().clone(),
     }
 }
 

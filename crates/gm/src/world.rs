@@ -27,7 +27,7 @@ use ftgm_lanai::chip::{isr, HostDmaDir, HostDmaReq, WireFrame};
 use ftgm_mcp::machine::{McpEffect, NicEvent, RecvTokenDesc, SendDesc};
 use ftgm_mcp::{McpMachine, McpParams};
 use ftgm_net::{Fabric, FabricParams, Mapper, NodeId, RouteTable, Topology};
-use ftgm_sim::{Scheduler, SimDuration, SimTime, Trace};
+use ftgm_sim::{DmaDir, Scheduler, SimDuration, SimTime, Trace, TraceKind};
 
 use crate::backup::{PortBackup, RecvTokenCopy, SendTokenCopy};
 
@@ -205,6 +205,13 @@ pub struct NodeSim {
     dma_in_flight: Option<HostDmaReq>,
     dispatch_at: Option<SimTime>,
     timer_poll_at: Option<SimTime>,
+    // Observability cursors into the MCP's cumulative statistics, so
+    // `sync_node` can emit typed delta events (re-arms, resends,
+    // commits) without the firmware knowing about the trace.
+    obs_ltimer_runs: u64,
+    obs_last_ltimer: Option<SimTime>,
+    obs_retransmits: u64,
+    obs_delivered: u64,
 }
 
 impl NodeSim {
@@ -301,6 +308,10 @@ impl World {
                 dma_in_flight: None,
                 dispatch_at: None,
                 timer_poll_at: None,
+                obs_ltimer_runs: 0,
+                obs_last_ltimer: None,
+                obs_retransmits: 0,
+                obs_delivered: 0,
             });
         }
         let trace = if config.trace {
@@ -448,6 +459,17 @@ impl World {
             }
         }
         node.mcp.host_dma_done();
+        if self.trace.is_enabled() {
+            let dir = match req.dir {
+                HostDmaDir::HostToSram => DmaDir::HostToSram,
+                HostDmaDir::SramToHost => DmaDir::SramToHost,
+            };
+            let now = self.now();
+            self.trace.emit(
+                now,
+                TraceKind::DmaDone { node: n as u16, dir, len: req.len },
+            );
+        }
     }
 
     /// Drains MCP effects and keeps the node's dispatch/timer events
@@ -477,6 +499,10 @@ impl World {
                     let tr = self.nodes[n].host.pci.transfer(now, req.len);
                     self.sched
                         .schedule_at(tr.end, Event::HostDmaDone(n as u16));
+                    if self.trace.is_enabled() {
+                        self.trace
+                            .emit(now, TraceKind::DmaStaged { node: n as u16, len: req.len });
+                    }
                 }
                 McpEffect::PostEvent { port, event } => {
                     // A 32-byte event record DMAed into the receive queue.
@@ -512,6 +538,33 @@ impl World {
                 self.sched.schedule_at(dl, Event::TimerPoll(n as u16));
             }
         }
+        // Typed observability deltas against the MCP's cumulative stats
+        // (watchdog re-arms, Go-Back-N resends, delayed-ACK commits).
+        if self.trace.is_enabled() {
+            let stats = self.nodes[n].mcp.stats();
+            if stats.ltimer_runs > self.nodes[n].obs_ltimer_runs {
+                let gap = match self.nodes[n].obs_last_ltimer {
+                    Some(prev) => now.saturating_since(prev),
+                    None => SimDuration::ZERO,
+                };
+                self.nodes[n].obs_ltimer_runs = stats.ltimer_runs;
+                self.nodes[n].obs_last_ltimer = Some(now);
+                self.trace
+                    .emit(now, TraceKind::WatchdogRearmed { node: n as u16, gap });
+            }
+            if stats.retransmits > self.nodes[n].obs_retransmits {
+                let chunks = stats.retransmits - self.nodes[n].obs_retransmits;
+                self.nodes[n].obs_retransmits = stats.retransmits;
+                self.trace
+                    .emit(now, TraceKind::Resent { node: n as u16, chunks });
+            }
+            if stats.messages_delivered > self.nodes[n].obs_delivered {
+                let messages = stats.messages_delivered - self.nodes[n].obs_delivered;
+                self.nodes[n].obs_delivered = stats.messages_delivered;
+                self.trace
+                    .emit(now, TraceKind::CommitAdvanced { node: n as u16, messages });
+            }
+        }
     }
 
     /// Driver interrupt handler: classify the cause.
@@ -522,8 +575,8 @@ impl World {
         let cause = self.nodes[n].mcp.chip.isr() & self.nodes[n].mcp.chip.imr();
         if cause & isr::IT1 != 0 {
             // The FATAL interrupt: the watchdog expired.
-            self.trace
-                .record(self.now(), "wdog", "IT1 expired: FATAL interrupt at driver");
+            let now = self.now();
+            self.trace.emit(now, TraceKind::WatchdogFired { node: n as u16 });
             if let Some(hook) = self.hooks.fatal_irq.clone() {
                 hook(self, NodeId(n as u16));
             }
@@ -631,6 +684,19 @@ impl World {
                 hp.recv_tokens += 1;
                 let data = node.host.mem.read(region.pa, len).to_vec();
                 hp.free_bufs.entry(region.len).or_default().push(region);
+                if self.trace.is_enabled() {
+                    let now = self.now();
+                    self.trace.emit(
+                        now,
+                        TraceKind::MessageReceived {
+                            node: n as u16,
+                            port,
+                            src_node: src_node.0,
+                            src_port,
+                            len,
+                        },
+                    );
+                }
                 self.deliver_app_event(
                     NodeId(n as u16),
                     port,
@@ -657,6 +723,13 @@ impl World {
                 }
                 hp.send_tokens += 1;
                 node.host.cpu.charge(CpuCost::Callback, api.callback);
+                if self.trace.is_enabled() {
+                    let now = self.now();
+                    self.trace.emit(
+                        now,
+                        TraceKind::SendCompleted { node: n as u16, port, token: token_id },
+                    );
+                }
                 self.deliver_app_event(
                     NodeId(n as u16),
                     port,
@@ -676,6 +749,13 @@ impl World {
                     hp.backup.remove_send(token_id);
                 }
                 hp.send_tokens += 1;
+                if self.trace.is_enabled() {
+                    let now = self.now();
+                    self.trace.emit(
+                        now,
+                        TraceKind::SendFailed { node: n as u16, port, token: token_id },
+                    );
+                }
                 self.deliver_app_event(
                     NodeId(n as u16),
                     port,
@@ -897,6 +977,26 @@ impl Ctx<'_> {
             (token_id, first_seq)
         };
 
+        if self.world.trace.is_enabled() {
+            let depth = {
+                let hp = self.world.nodes[n].ports[port as usize]
+                    .as_ref()
+                    .expect("own port open");
+                self.world.config.send_tokens - hp.send_tokens
+            };
+            let now = self.world.now();
+            self.world.trace.emit(
+                now,
+                TraceKind::SendPosted {
+                    node: n as u16,
+                    port,
+                    token: token_id,
+                    len: data.len() as u32,
+                    depth,
+                },
+            );
+        }
+
         let mut cost = api.send;
         if is_ftgm {
             // The paper's send-side housekeeping: copy the token into the
@@ -979,6 +1079,19 @@ impl Ctx<'_> {
             hp.recv_bufs.insert(token_id, region);
             (token_id, api.provide)
         };
+        if self.world.trace.is_enabled() {
+            let depth = {
+                let hp = self.world.nodes[n].ports[port as usize]
+                    .as_ref()
+                    .expect("own port open");
+                self.world.config.recv_tokens - hp.recv_tokens
+            };
+            let now = self.world.now();
+            self.world.trace.emit(
+                now,
+                TraceKind::RecvProvided { node: n as u16, port, token: token_id, depth },
+            );
+        }
         if is_ftgm {
             let hp = self.world.nodes[n].ports[port as usize]
                 .as_mut()

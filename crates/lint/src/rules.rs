@@ -1,4 +1,4 @@
-//! The FTGM invariant rules (R1–R5) and their matchers.
+//! The FTGM invariant rules (R1–R6) and their matchers.
 //!
 //! Each rule is a set of per-line token matchers applied to the blanked
 //! "code view" ([`crate::strip::FileView`]) of the files it governs.
@@ -17,26 +17,34 @@ pub const DETERMINISM: &str = "determinism";
 pub const SEQNUM_DISCIPLINE: &str = "seqnum-discipline";
 pub const NO_WILDCARD_MATCH: &str = "no-wildcard-match";
 pub const NO_TRUNCATING_CAST: &str = "no-truncating-cast";
+pub const TYPED_TRACE: &str = "typed-trace";
 
 /// All rule names, in report order.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     RECOVERY_NO_PANIC,
     DETERMINISM,
     SEQNUM_DISCIPLINE,
     NO_WILDCARD_MATCH,
     NO_TRUNCATING_CAST,
+    TYPED_TRACE,
 ];
 
 /// R1: modules on the recovery path must be total — no panicking calls.
 /// `chaos.rs` qualifies because its actions and oracles execute inside
 /// recovery (the `ftd_phase` hook fires mid-reset); a panic there would
-/// masquerade as a recovery failure.
-const R1_FILES: [&str; 5] = [
+/// masquerade as a recovery failure. The observability modules qualify
+/// because `Trace::emit` runs inline with recovery (and everything else):
+/// a panic while recording an event would abort the very recovery it was
+/// observing.
+const R1_FILES: [&str; 8] = [
     "crates/core/src/recovery.rs",
     "crates/core/src/ftd.rs",
     "crates/gm/src/backup.rs",
     "crates/mcp/src/gobackn.rs",
     "crates/faults/src/chaos.rs",
+    "crates/sim/src/trace.rs",
+    "crates/sim/src/metrics.rs",
+    "crates/sim/src/export.rs",
 ];
 
 /// R2: crates whose code runs under (or feeds state into) the
@@ -64,6 +72,11 @@ const R4_FILES: [&str; 2] = ["crates/faults/src/classify.rs", "crates/core/src/r
 /// R5: wire-format modules where a silent truncation corrupts packets.
 const R5_FILES: [&str; 2] = ["crates/mcp/src/packet.rs", "crates/net/src/crc.rs"];
 
+/// R6: the stringly-typed trace API is gone; non-test code must emit
+/// typed [`TraceKind`] events (`trace.emit(...)`), never reconstruct the
+/// old `trace.record(...)`/`trace.find(...)` string surface.
+const R6_CALLS: [&str; 2] = ["record", "find"];
+
 /// One-line description per rule (for `--explain` style output and docs).
 pub fn describe(rule: &str) -> &'static str {
     match rule {
@@ -78,6 +91,9 @@ pub fn describe(rule: &str) -> &'static str {
         }
         NO_WILDCARD_MATCH => "no `_ =>` arms in matches over fault/event enums",
         NO_TRUNCATING_CAST => "no bare `as u8`/`as u16` casts in wire-format modules",
+        TYPED_TRACE => {
+            "no stringly trace calls (`trace.record`/`trace.find`) in non-test code; emit typed TraceKind events"
+        }
         _ => "unknown rule",
     }
 }
@@ -102,7 +118,8 @@ pub fn scan(rel: &str, view: &FileView) -> Vec<Finding> {
         && !R3_ACCESSOR_MODULES.contains(&rel);
     let r4 = R4_FILES.contains(&rel);
     let r5 = R5_FILES.contains(&rel);
-    if !(r1 || r2 || r3 || r4 || r5) {
+    let r6 = rel.starts_with("crates/") && rel.contains("/src/");
+    if !(r1 || r2 || r3 || r4 || r5 || r6) {
         return findings;
     }
 
@@ -135,6 +152,9 @@ pub fn scan(rel: &str, view: &FileView) -> Vec<Finding> {
         }
         if r5 {
             match_r5(code, &mut emit);
+        }
+        if r6 {
+            match_r6(code, &mut emit);
         }
     }
     findings
@@ -334,6 +354,33 @@ fn match_r5(code: &str, emit: &mut dyn FnMut(&'static str, usize, String)) {
     }
 }
 
+/// R6: calls into the removed stringly-typed trace surface.
+fn match_r6(code: &str, emit: &mut dyn FnMut(&'static str, usize, String)) {
+    let b = code.as_bytes();
+    for pos in token_positions(code, "trace") {
+        let mut i = skip_ws(b, pos + "trace".len());
+        if i >= b.len() || b[i] != b'.' {
+            continue;
+        }
+        i = skip_ws(b, i + 1);
+        for call in R6_CALLS {
+            if code[i..].starts_with(call) {
+                let after = skip_ws(b, i + call.len());
+                if after < b.len() && b[after] == b'(' {
+                    emit(
+                        TYPED_TRACE,
+                        pos,
+                        format!(
+                            "`trace.{call}(...)` is the removed stringly API; emit a typed \
+                             TraceKind event (or query with first_where/last_where/count_where)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +504,38 @@ mod tests {
     fn r5_ignores_widening_and_types() {
         let src = "fn f(x: u8) -> u32 { let v: Vec<u8> = vec![x]; v[0] as u32 }\n";
         assert!(scan_str("crates/net/src/crc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r6_catches_stringly_trace_calls() {
+        let src = "fn f(w: &mut W) {\n\
+                   w.trace.record(now, \"ftd_woken\");\n\
+                   let _ = w.trace .find(\"reopened\");\n\
+                   }\n";
+        let f = scan_str("crates/gm/src/world.rs", src);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().all(|x| x.rule == TYPED_TRACE));
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+    }
+
+    #[test]
+    fn r6_applies_to_every_crate_src_file() {
+        let src = "fn f(t: &mut T) { t.trace.record(0, \"x\"); }\n";
+        assert_eq!(scan_str("crates/bench/src/bin/fig9.rs", src).len(), 1);
+        assert_eq!(scan_str("crates/faults/src/chaos.rs", src).len(), 1);
+        assert!(scan_str("tools/gen.rs", src).is_empty(), "outside crates/*/src");
+    }
+
+    #[test]
+    fn r6_ignores_typed_api_and_other_receivers() {
+        let src = "fn f(w: &mut W, log: &mut L) {\n\
+                   w.trace.emit(now, TraceKind::FtdWoken { node });\n\
+                   let _ = w.trace.first_where(|k| true);\n\
+                   log.record(1);\n\
+                   recorder.find(2);\n\
+                   }\n";
+        assert!(scan_str("crates/gm/src/world.rs", src).is_empty());
     }
 
     #[test]

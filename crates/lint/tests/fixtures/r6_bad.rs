@@ -1,0 +1,10 @@
+// Fixture: R6 (typed-trace) violations — the removed stringly trace API.
+// Scanned as if at crates/gm/src/world.rs. Expected findings: 4.
+
+fn drive(w: &mut World) {
+    w.trace.record(w.clock.now(), "ftd_woken");
+    self.trace.record(now, format!("reopened port {port}"));
+    let hit = w.trace.find("fault detected");
+    let spaced = w.trace . find ("probe");
+    let _ = (hit, spaced);
+}

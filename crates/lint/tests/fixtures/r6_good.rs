@@ -1,0 +1,15 @@
+// Fixture: the sanctioned typed trace surface plus near-miss lookalikes.
+// Scanned as if at crates/gm/src/world.rs. Expected findings: 0.
+
+fn drive(w: &mut World, recorder: &mut Recorder) {
+    // The typed API: emit events, query with predicates.
+    w.trace.emit(w.clock.now(), TraceKind::FtdWoken { node: 1 });
+    let first = w.trace.first_where(|k| matches!(k, TraceKind::PortReopened { .. }));
+    let n = w.trace.count_where(|k| matches!(k, TraceKind::Resent { .. }));
+    // Other receivers named like the old API do not fire the rule.
+    recorder.record(n);
+    let found = registry.find(first);
+    // Mentions in strings and comments are inert: trace.record("x").
+    let doc = "call w.trace.record(now, label) was the old shape";
+    let _ = (found, doc);
+}

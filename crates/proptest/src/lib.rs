@@ -85,7 +85,66 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Mirror of `proptest`'s `Strategy::prop_map`: transforms sampled
+        /// values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
     }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident => $v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(S1 => s1, S2 => s2);
+    tuple_strategy!(S1 => s1, S2 => s2, S3 => s3);
+    tuple_strategy!(S1 => s1, S2 => s2, S3 => s3, S4 => s4);
+    tuple_strategy!(S1 => s1, S2 => s2, S3 => s3, S4 => s4, S5 => s5);
+    tuple_strategy!(S1 => s1, S2 => s2, S3 => s3, S4 => s4, S5 => s5, S6 => s6);
 
     macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
@@ -191,7 +250,16 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Mirror of `proptest::prop_oneof!`: uniform choice among the arms (the
+/// real crate supports weights; the workspace's tests do not use them).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(Box::new($arm)),+])
+    };
 }
 
 /// Assertion macros: the real crate returns `TestCaseError`; inside this

@@ -12,8 +12,11 @@
 //! * [`rng::SimRng`] — a seedable, reproducible pseudo-random generator
 //!   (xoshiro256**), so that a campaign run with the same seed replays
 //!   bit-for-bit,
-//! * [`trace::Trace`] — a lightweight event trace used to regenerate the
-//!   paper's Figure 9 recovery timeline.
+//! * [`trace::Trace`] — a typed event trace used to regenerate the
+//!   paper's Figure 9 recovery timeline and drive the chaos oracles,
+//! * [`metrics::Metrics`] — deterministic counters and fixed-bucket
+//!   histograms fed by every trace emission,
+//! * [`export`] — JSON-lines and Chrome `trace_event` exporters.
 //!
 //! # Example
 //!
@@ -29,12 +32,15 @@
 //! assert!(t1 < t2);
 //! ```
 
+pub mod export;
+pub mod metrics;
 pub mod rng;
 pub mod sched;
 pub mod time;
 pub mod trace;
 
+pub use metrics::{HistId, Histogram, Metrics};
 pub use rng::SimRng;
 pub use sched::{EventId, Scheduler};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{DmaDir, RecoveryPhase, Trace, TraceEvent, TraceKind, TraceMode};

@@ -1,0 +1,525 @@
+//! Deterministic metrics registry fed by the typed trace.
+//!
+//! [`Metrics`] holds monotonic per-kind counters and fixed-bucket
+//! histograms over sim-time quantities (detection latency, per-phase
+//! recovery durations, watchdog gaps, retry backoffs, queue depths).
+//! Everything is plain integer state in fixed-size arrays: observation
+//! never allocates, snapshots are `Clone`, independent runs merge with
+//! [`Metrics::merge`], and [`Metrics::to_json`] renders a byte-stable
+//! JSON document (integers only, fixed field order) so exported
+//! snapshots can be compared across runs and thread counts.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+use crate::trace::{RecoveryPhase, TraceKind, KIND_COUNT, KIND_NAMES};
+
+/// The registered histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistId {
+    /// Fault activation → FTD woken (Table 3 "detection" component).
+    DetectionLatency,
+    /// Duration of the card-reset phase.
+    PhaseReset,
+    /// Duration of the SRAM-clear phase.
+    PhaseClearSram,
+    /// Duration of the MCP-reload phase.
+    PhaseReloadMcp,
+    /// Duration of the engine-restart phase.
+    PhaseRestartEngines,
+    /// Duration of the page-table-restore phase.
+    PhaseRestorePageTable,
+    /// Duration of the route-restore phase.
+    PhaseRestoreRoutes,
+    /// Gap between consecutive `L_timer()` watchdog re-arms.
+    WatchdogGap,
+    /// Backoff delays scheduled between reload attempts.
+    RetryBackoff,
+    /// Send tokens in flight at each `gm_send` post.
+    SendQueueDepth,
+    /// Receive tokens in flight at each buffer provide.
+    RecvQueueDepth,
+}
+
+/// Number of [`HistId`] variants (sizes the histogram array).
+pub const HIST_COUNT: usize = 11;
+
+/// Bucket upper bounds for sim-duration histograms, in nanoseconds:
+/// 1 µs, 10 µs, 100 µs, 1 ms, 10 ms, 100 ms, 1 s (+overflow bucket).
+const DURATION_BOUNDS: [u64; 7] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Bucket upper bounds for queue-depth histograms (+overflow bucket).
+const DEPTH_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+impl HistId {
+    /// All histograms in export order.
+    pub const ALL: [HistId; HIST_COUNT] = [
+        HistId::DetectionLatency,
+        HistId::PhaseReset,
+        HistId::PhaseClearSram,
+        HistId::PhaseReloadMcp,
+        HistId::PhaseRestartEngines,
+        HistId::PhaseRestorePageTable,
+        HistId::PhaseRestoreRoutes,
+        HistId::WatchdogGap,
+        HistId::RetryBackoff,
+        HistId::SendQueueDepth,
+        HistId::RecvQueueDepth,
+    ];
+
+    /// Dense index into the histogram array.
+    pub fn index(self) -> usize {
+        match self {
+            HistId::DetectionLatency => 0,
+            HistId::PhaseReset => 1,
+            HistId::PhaseClearSram => 2,
+            HistId::PhaseReloadMcp => 3,
+            HistId::PhaseRestartEngines => 4,
+            HistId::PhaseRestorePageTable => 5,
+            HistId::PhaseRestoreRoutes => 6,
+            HistId::WatchdogGap => 7,
+            HistId::RetryBackoff => 8,
+            HistId::SendQueueDepth => 9,
+            HistId::RecvQueueDepth => 10,
+        }
+    }
+
+    /// Stable snake-case name for JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::DetectionLatency => "detection_latency_ns",
+            HistId::PhaseReset => "phase_reset_ns",
+            HistId::PhaseClearSram => "phase_clear_sram_ns",
+            HistId::PhaseReloadMcp => "phase_reload_mcp_ns",
+            HistId::PhaseRestartEngines => "phase_restart_engines_ns",
+            HistId::PhaseRestorePageTable => "phase_restore_page_table_ns",
+            HistId::PhaseRestoreRoutes => "phase_restore_routes_ns",
+            HistId::WatchdogGap => "watchdog_gap_ns",
+            HistId::RetryBackoff => "retry_backoff_ns",
+            HistId::SendQueueDepth => "send_queue_depth",
+            HistId::RecvQueueDepth => "recv_queue_depth",
+        }
+    }
+
+    /// The histogram for one recovery phase.
+    pub fn for_phase(phase: RecoveryPhase) -> HistId {
+        match phase {
+            RecoveryPhase::Reset => HistId::PhaseReset,
+            RecoveryPhase::ClearSram => HistId::PhaseClearSram,
+            RecoveryPhase::ReloadMcp => HistId::PhaseReloadMcp,
+            RecoveryPhase::RestartEngines => HistId::PhaseRestartEngines,
+            RecoveryPhase::RestorePageTable => HistId::PhaseRestorePageTable,
+            RecoveryPhase::RestoreRoutes => HistId::PhaseRestoreRoutes,
+        }
+    }
+
+    /// This histogram's bucket upper bounds (the last bucket is +inf).
+    pub fn bounds(self) -> &'static [u64; 7] {
+        match self {
+            HistId::SendQueueDepth | HistId::RecvQueueDepth => &DEPTH_BOUNDS,
+            _ => &DURATION_BOUNDS,
+        }
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Eight buckets: seven bounded by [`HistId::bounds`] (a sample lands in
+/// the first bucket whose bound it does not exceed) plus an overflow
+/// bucket. Also tracks count/sum/min/max exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Bucket occupancy; `buckets[7]` is the overflow bucket.
+    pub buckets: [u64; 8],
+}
+
+/// An empty histogram, usable in `const` array initialisers.
+pub const EMPTY_HISTOGRAM: Histogram = Histogram {
+    count: 0,
+    sum: 0,
+    min: 0,
+    max: 0,
+    buckets: [0; 8],
+};
+
+impl Default for Histogram {
+    fn default() -> Self {
+        EMPTY_HISTOGRAM
+    }
+}
+
+impl Histogram {
+    /// Records one sample against the given bucket bounds.
+    pub fn observe(&mut self, value: u64, bounds: &[u64; 7]) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        let slot = bounds.iter().position(|&b| value <= b).unwrap_or(7);
+        if let Some(bucket) = self.buckets.get_mut(slot) {
+            *bucket += 1;
+        }
+    }
+
+    /// Mean sample value (0.0 when empty); for display only.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram (same bounds) into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+}
+
+/// The registry: per-kind event counters, protocol accumulators, and the
+/// [`HistId`] histograms. Derived entirely from [`TraceKind`] observations
+/// so it can never disagree with the event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    counters: [u64; KIND_COUNT],
+    resent_chunks: u64,
+    committed_messages: u64,
+    hists: [Histogram; HIST_COUNT],
+    /// Open fault marks: node → activation time, consumed by the next
+    /// `FtdWoken` on that node to derive detection latency.
+    pending_fault: BTreeMap<u16, SimTime>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            counters: [0; KIND_COUNT],
+            resent_chunks: 0,
+            committed_messages: 0,
+            hists: [EMPTY_HISTOGRAM; HIST_COUNT],
+            pending_fault: BTreeMap::new(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Feeds one event into the registry.
+    pub fn observe(&mut self, at: SimTime, kind: &TraceKind) {
+        if let Some(c) = self.counters.get_mut(kind.kind_index()) {
+            *c += 1;
+        }
+        match *kind {
+            TraceKind::FaultInjected { node, .. } | TraceKind::ForcedHang { node } => {
+                self.pending_fault.insert(node, at);
+            }
+            TraceKind::FtdWoken { node } => {
+                if let Some(t0) = self.pending_fault.remove(&node) {
+                    self.observe_hist(HistId::DetectionLatency, at.saturating_since(t0).as_nanos());
+                }
+            }
+            TraceKind::RecoveryPhaseDone { phase, dur, .. } => {
+                self.observe_hist(HistId::for_phase(phase), dur.as_nanos());
+            }
+            TraceKind::WatchdogRearmed { gap, .. } => {
+                self.observe_hist(HistId::WatchdogGap, gap.as_nanos());
+            }
+            TraceKind::RetryScheduled { backoff, .. } => {
+                self.observe_hist(HistId::RetryBackoff, backoff.as_nanos());
+            }
+            TraceKind::SendPosted { depth, .. } => {
+                self.observe_hist(HistId::SendQueueDepth, u64::from(depth));
+            }
+            TraceKind::RecvProvided { depth, .. } => {
+                self.observe_hist(HistId::RecvQueueDepth, u64::from(depth));
+            }
+            TraceKind::Resent { chunks, .. } => {
+                self.resent_chunks = self.resent_chunks.saturating_add(chunks);
+            }
+            TraceKind::CommitAdvanced { messages, .. } => {
+                self.committed_messages = self.committed_messages.saturating_add(messages);
+            }
+            _ => {}
+        }
+    }
+
+    fn observe_hist(&mut self, id: HistId, value: u64) {
+        let bounds = id.bounds();
+        if let Some(h) = self.hists.get_mut(id.index()) {
+            h.observe(value, bounds);
+        }
+    }
+
+    /// Events observed for the named kind (a [`crate::trace::KIND_NAMES`]
+    /// entry); 0 for unknown names.
+    pub fn counter(&self, kind_name: &str) -> u64 {
+        KIND_NAMES
+            .iter()
+            .position(|&n| n == kind_name)
+            .and_then(|i| self.counters.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    /// Total events observed across all kinds.
+    pub fn total_events(&self) -> u64 {
+        self.counters.iter().sum()
+    }
+
+    /// Total Go-Back-N chunks retransmitted.
+    pub fn resent_chunks(&self) -> u64 {
+        self.resent_chunks
+    }
+
+    /// Total messages passed the delayed-ACK commit point.
+    pub fn committed_messages(&self) -> u64 {
+        self.committed_messages
+    }
+
+    /// One histogram's current state.
+    pub fn hist(&self, id: HistId) -> &Histogram {
+        self.hists.get(id.index()).unwrap_or(&EMPTY_HISTOGRAM)
+    }
+
+    /// Folds another registry into this one (campaign aggregation).
+    /// Open fault marks are bookkeeping, not measurements, and are not
+    /// merged.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *mine += *theirs;
+        }
+        self.resent_chunks += other.resent_chunks;
+        self.committed_messages += other.committed_messages;
+        for (mine, theirs) in self.hists.iter_mut().zip(other.hists.iter()) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Renders the registry as a byte-stable JSON object, indented so it
+    /// can embed inside larger documents. `indent` is the number of
+    /// leading spaces on the object's own lines.
+    pub fn to_json_indented(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let deep = " ".repeat(indent + 4);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("{inner}\"events_total\": {},\n", self.total_events()));
+        out.push_str(&format!("{inner}\"resent_chunks\": {},\n", self.resent_chunks));
+        out.push_str(&format!(
+            "{inner}\"committed_messages\": {},\n",
+            self.committed_messages
+        ));
+        out.push_str(&format!("{inner}\"counters\": {{\n"));
+        let nonzero: Vec<(usize, u64)> = self
+            .counters
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        for (row, (i, c)) in nonzero.iter().enumerate() {
+            let comma = if row + 1 < nonzero.len() { "," } else { "" };
+            let name = KIND_NAMES.get(*i).copied().unwrap_or("Unknown");
+            out.push_str(&format!("{deep}\"{name}\": {c}{comma}\n"));
+        }
+        out.push_str(&format!("{inner}}},\n"));
+        out.push_str(&format!("{inner}\"histograms\": {{\n"));
+        for (row, id) in HistId::ALL.iter().enumerate() {
+            let h = self.hist(*id);
+            let comma = if row + 1 < HistId::ALL.len() { "," } else { "" };
+            let bounds = id
+                .bounds()
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let buckets = h
+                .buckets
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{deep}\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"bounds\": [{bounds}], \"buckets\": [{buckets}]}}{comma}\n",
+                id.name(),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            ));
+        }
+        out.push_str(&format!("{inner}}}\n"));
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+
+    /// Renders the registry as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = self.to_json_indented(0);
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_us(us)
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        h.observe(500, &DURATION_BOUNDS); // ≤ 1µs bucket 0
+        h.observe(5_000, &DURATION_BOUNDS); // bucket 1
+        h.observe(2_000_000_000, &DURATION_BOUNDS); // overflow bucket 7
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 500 + 5_000 + 2_000_000_000);
+        assert_eq!(h.min, 500);
+        assert_eq!(h.max, 2_000_000_000);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[7], 1);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential_observation() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [10u64, 2_000, 50_000] {
+            a.observe(v, &DURATION_BOUNDS);
+            both.observe(v, &DURATION_BOUNDS);
+        }
+        for v in [7u64, 900_000_000] {
+            b.observe(v, &DURATION_BOUNDS);
+            both.observe(v, &DURATION_BOUNDS);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn detection_latency_derived_from_fault_and_wake() {
+        let mut m = Metrics::default();
+        m.observe(t(100), &TraceKind::ForcedHang { node: 3 });
+        m.observe(t(912), &TraceKind::FtdWoken { node: 3 });
+        let h = m.hist(HistId::DetectionLatency);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 812_000);
+        // A second wake without a new fault records nothing.
+        m.observe(t(2_000), &TraceKind::FtdWoken { node: 3 });
+        assert_eq!(m.hist(HistId::DetectionLatency).count, 1);
+    }
+
+    #[test]
+    fn phase_durations_land_in_their_histograms() {
+        let mut m = Metrics::default();
+        m.observe(
+            t(10),
+            &TraceKind::RecoveryPhaseDone {
+                node: 0,
+                phase: RecoveryPhase::ReloadMcp,
+                dur: SimDuration::from_ms(600),
+            },
+        );
+        assert_eq!(m.hist(HistId::PhaseReloadMcp).count, 1);
+        assert_eq!(m.hist(HistId::PhaseReloadMcp).sum, 600_000_000);
+        assert_eq!(m.hist(HistId::PhaseReset).count, 0);
+    }
+
+    #[test]
+    fn accumulators_and_depths() {
+        let mut m = Metrics::default();
+        m.observe(t(1), &TraceKind::Resent { node: 0, chunks: 4 });
+        m.observe(t(2), &TraceKind::Resent { node: 1, chunks: 3 });
+        m.observe(t(3), &TraceKind::CommitAdvanced { node: 0, messages: 9 });
+        m.observe(
+            t(4),
+            &TraceKind::SendPosted { node: 0, port: 2, token: 1, len: 64, depth: 3 },
+        );
+        assert_eq!(m.resent_chunks(), 7);
+        assert_eq!(m.committed_messages(), 9);
+        assert_eq!(m.hist(HistId::SendQueueDepth).count, 1);
+        assert_eq!(m.hist(HistId::SendQueueDepth).max, 3);
+        assert_eq!(m.counter("Resent"), 2);
+        assert_eq!(m.total_events(), 4);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = Metrics::default();
+        let mut b = Metrics::default();
+        let mut both = Metrics::default();
+        let early: Vec<TraceKind> = vec![
+            TraceKind::ForcedHang { node: 0 },
+            TraceKind::FtdWoken { node: 0 },
+        ];
+        let late: Vec<TraceKind> = vec![
+            TraceKind::Resent { node: 1, chunks: 2 },
+            TraceKind::WatchdogFired { node: 1 },
+        ];
+        for (i, k) in early.iter().enumerate() {
+            a.observe(t(i as u64 * 100), k);
+            both.observe(t(i as u64 * 100), k);
+        }
+        for (i, k) in late.iter().enumerate() {
+            b.observe(t(1_000 + i as u64 * 100), k);
+            both.observe(t(1_000 + i as u64 * 100), k);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let mut m = Metrics::default();
+        m.observe(t(5), &TraceKind::ForcedHang { node: 2 });
+        m.observe(t(905), &TraceKind::FtdWoken { node: 2 });
+        let j1 = m.to_json();
+        let j2 = m.clone().to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"events_total\": 2"));
+        assert!(j1.contains("\"ForcedHang\": 1"));
+        assert!(j1.contains("\"detection_latency_ns\""));
+        assert_eq!(j1.matches('{').count(), j1.matches('}').count());
+    }
+}

@@ -1,126 +1,946 @@
-//! Simulation tracing.
+//! Typed simulation tracing.
 //!
-//! Recovery experiments (Figure 9, Table 3) need a timeline of named
-//! milestones: fault injected, watchdog fired, FTD woken, MCP reloaded,
-//! per-port handler done. [`Trace`] records `(time, category, message)`
-//! triples cheaply and renders them as an aligned timeline.
+//! Recovery experiments (Figure 9, Table 3) and the chaos campaigns need a
+//! queryable timeline of what the simulated cluster did: token lifecycle,
+//! DMA traffic, watchdog activity, and every step of the FTD recovery
+//! pipeline. [`Trace`] records [`TraceEvent`]s — a sim-time stamp plus a
+//! structured [`TraceKind`] carrying node/port/seq/attempt fields — and
+//! feeds every emission into an embedded [`Metrics`] registry, so counters
+//! and histograms are consistent with the event stream by construction.
+//!
+//! Three recording modes keep the layer allocation-light:
+//!
+//! * **Disabled** — `emit` is a branch and a return; nothing is stored and
+//!   no metric moves (the Table 2 overhead contract).
+//! * **Milestones** (what [`Trace::enabled`] gives you) — recovery-class
+//!   events are stored; high-frequency kinds (per-message token traffic,
+//!   DMA, watchdog re-arms) update metrics only.
+//! * **Full** — every event is stored.
+//!
+//! Exporters for JSON-lines and Chrome `trace_event` live in
+//! [`crate::export`].
 
-use std::fmt;
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
 
-use crate::time::SimTime;
-
-/// One recorded milestone.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// When the milestone occurred.
-    pub at: SimTime,
-    /// Short category tag, e.g. `"wdog"`, `"ftd"`, `"mcp"`.
-    pub category: &'static str,
-    /// Human-readable description.
-    pub message: String,
+/// The FTD reset-and-restore phases, as the trace layer names them.
+///
+/// `ftgm-core` owns the execution logic; this mirror exists so crates
+/// below it (and exporters) can name phases without a dependency cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryPhase {
+    /// Disable interrupts, unmap I/O, reset the card.
+    Reset,
+    /// Clear all of SRAM.
+    ClearSram,
+    /// PIO-write the MCP image over the EBUS.
+    ReloadMcp,
+    /// Restart the DMA engine, re-enable interrupts.
+    RestartEngines,
+    /// Re-register the host page hash table.
+    RestorePageTable,
+    /// Restore mapping/route tables into SRAM.
+    RestoreRoutes,
 }
 
-/// An append-only milestone log.
+impl RecoveryPhase {
+    /// All phases in FTD execution order.
+    pub const ORDER: [RecoveryPhase; 6] = [
+        RecoveryPhase::Reset,
+        RecoveryPhase::ClearSram,
+        RecoveryPhase::ReloadMcp,
+        RecoveryPhase::RestartEngines,
+        RecoveryPhase::RestorePageTable,
+        RecoveryPhase::RestoreRoutes,
+    ];
+
+    /// Position within [`RecoveryPhase::ORDER`].
+    pub fn index(self) -> usize {
+        match self {
+            RecoveryPhase::Reset => 0,
+            RecoveryPhase::ClearSram => 1,
+            RecoveryPhase::ReloadMcp => 2,
+            RecoveryPhase::RestartEngines => 3,
+            RecoveryPhase::RestorePageTable => 4,
+            RecoveryPhase::RestoreRoutes => 5,
+        }
+    }
+
+    /// Human-readable label (also the Chrome-trace span name).
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryPhase::Reset => "card reset",
+            RecoveryPhase::ClearSram => "clear SRAM",
+            RecoveryPhase::ReloadMcp => "reload MCP",
+            RecoveryPhase::RestartEngines => "restart DMA engines + IRQs",
+            RecoveryPhase::RestorePageTable => "restore page hash table",
+            RecoveryPhase::RestoreRoutes => "restore mapping/route tables",
+        }
+    }
+
+    /// Stable snake-case name for JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPhase::Reset => "reset",
+            RecoveryPhase::ClearSram => "clear_sram",
+            RecoveryPhase::ReloadMcp => "reload_mcp",
+            RecoveryPhase::RestartEngines => "restart_engines",
+            RecoveryPhase::RestorePageTable => "restore_page_table",
+            RecoveryPhase::RestoreRoutes => "restore_routes",
+        }
+    }
+}
+
+/// Direction of a host DMA, as the trace layer names it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DmaDir {
+    /// Host memory → NIC SRAM (send staging).
+    HostToSram,
+    /// NIC SRAM → host memory (delivery, completion records).
+    SramToHost,
+}
+
+impl DmaDir {
+    /// Stable name for JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DmaDir::HostToSram => "host_to_sram",
+            DmaDir::SramToHost => "sram_to_host",
+        }
+    }
+}
+
+/// What happened. Every variant carries the identifying fields the paper's
+/// measurements and the chaos oracles need; the sim-time stamp lives on
+/// the enclosing [`TraceEvent`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceKind {
+    // --- send/recv token lifecycle (high-frequency) ---------------------
+    /// `gm_send` consumed a send token and posted a descriptor.
+    SendPosted {
+        /// Sending node.
+        node: u16,
+        /// Sending port.
+        port: u8,
+        /// The send token id.
+        token: u64,
+        /// Message length in bytes.
+        len: u32,
+        /// Send tokens in flight after this post (queue depth).
+        depth: u32,
+    },
+    /// A send completed; its token returned to the process.
+    SendCompleted {
+        /// Sending node.
+        node: u16,
+        /// Sending port.
+        port: u8,
+        /// The send token id.
+        token: u64,
+    },
+    /// A send failed permanently (GM `SendError` semantics).
+    SendFailed {
+        /// Sending node.
+        node: u16,
+        /// Sending port.
+        port: u8,
+        /// The send token id.
+        token: u64,
+    },
+    /// `gm_provide_receive_buffer` handed a buffer to the LANai.
+    RecvProvided {
+        /// Receiving node.
+        node: u16,
+        /// Receiving port.
+        port: u8,
+        /// The receive token id.
+        token: u64,
+        /// Receive tokens in flight after this provide (queue depth).
+        depth: u32,
+    },
+    /// A message landed in a provided buffer and reached `gm_receive`.
+    MessageReceived {
+        /// Receiving node.
+        node: u16,
+        /// Receiving port.
+        port: u8,
+        /// Sending node.
+        src_node: u16,
+        /// Sending port.
+        src_port: u8,
+        /// Message length in bytes.
+        len: u32,
+    },
+
+    // --- DMA and firmware protocol (high-frequency) ---------------------
+    /// The MCP queued a host DMA (send staging or delivery).
+    DmaStaged {
+        /// Node whose PCI bus carries the transfer.
+        node: u16,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// A host DMA completed and its bytes moved.
+    DmaDone {
+        /// Node whose PCI bus carried the transfer.
+        node: u16,
+        /// Transfer direction.
+        dir: DmaDir,
+        /// Transfer length in bytes.
+        len: u32,
+    },
+    /// The delayed-ACK commit point advanced (messages became final).
+    CommitAdvanced {
+        /// Receiving node.
+        node: u16,
+        /// Messages committed since the last advance.
+        messages: u64,
+    },
+    /// Go-Back-N retransmitted chunks.
+    Resent {
+        /// Sending node.
+        node: u16,
+        /// Chunks resent since the last report.
+        chunks: u64,
+    },
+
+    // --- watchdog -------------------------------------------------------
+    /// IT1 was (re)armed by recovery code (boot/false-alarm paths).
+    WatchdogArmed {
+        /// Node whose IT1 was armed.
+        node: u16,
+        /// Interval in half-microsecond ticks.
+        ticks: u32,
+    },
+    /// `L_timer()` ran and pushed IT1 forward (high-frequency).
+    WatchdogRearmed {
+        /// Node whose IT1 was re-armed.
+        node: u16,
+        /// Gap since the previous re-arm.
+        gap: SimDuration,
+    },
+    /// IT1 expired: the FATAL interrupt reached the driver.
+    WatchdogFired {
+        /// Node whose watchdog expired.
+        node: u16,
+    },
+
+    // --- fault activations ----------------------------------------------
+    /// A campaign flipped one SRAM bit.
+    FaultInjected {
+        /// Faulted node.
+        node: u16,
+        /// Bit offset within the target region.
+        bit: u64,
+    },
+    /// An experiment force-hung the network processor.
+    ForcedHang {
+        /// Faulted node.
+        node: u16,
+    },
+    /// A fabric link went administratively down.
+    LinkDown {
+        /// Link index in the topology.
+        link: usize,
+    },
+    /// A fabric link came back up.
+    LinkUp {
+        /// Link index in the topology.
+        link: usize,
+    },
+    /// A fabric-wide loss/corruption window opened.
+    NoiseOpened,
+    /// The loss/corruption window closed.
+    NoiseClosed,
+
+    // --- FTD recovery pipeline ------------------------------------------
+    /// A FATAL arrived on an escalated (dead) interface and was ignored.
+    FtdFatalIgnoredDead {
+        /// The dead interface's node.
+        node: u16,
+    },
+    /// A FATAL arrived mid-recovery; a re-verification was queued.
+    FtdReverifyQueued {
+        /// Recovering node.
+        node: u16,
+    },
+    /// The driver woke the FTD (detection complete).
+    FtdWoken {
+        /// Node whose FTD was woken.
+        node: u16,
+    },
+    /// The FTD is running (post context-switch).
+    FtdRunning {
+        /// Node whose FTD runs.
+        node: u16,
+    },
+    /// The magic-word probe was written (or the write failed).
+    ProbeWritten {
+        /// Probed node.
+        node: u16,
+        /// Whether the SRAM write succeeded.
+        ok: bool,
+    },
+    /// The probe was cleared by a live MCP: false alarm.
+    ProbeFalseAlarm {
+        /// Probed node.
+        node: u16,
+    },
+    /// The magic word survived: hang confirmed.
+    ProbeConfirmedHang {
+        /// Hung node.
+        node: u16,
+    },
+    /// A queued FATAL re-entered the probe loop before sleeping.
+    ProbeRequeued {
+        /// Probed node.
+        node: u16,
+    },
+    /// A reset/reload attempt started.
+    RecoveryAttempt {
+        /// Recovering node.
+        node: u16,
+        /// 1-based attempt number within the episode.
+        attempt: u32,
+        /// The policy's attempt budget.
+        max_attempts: u32,
+    },
+    /// One timed recovery phase completed. The span covers
+    /// `[at - dur, at]`.
+    RecoveryPhaseDone {
+        /// Recovering node.
+        node: u16,
+        /// Which phase.
+        phase: RecoveryPhase,
+        /// The phase's charged duration.
+        dur: SimDuration,
+    },
+    /// Post-reload verification probe started.
+    ReloadVerifying {
+        /// Recovering node.
+        node: u16,
+    },
+    /// The reloaded MCP cleared the probe: verified alive.
+    ReloadVerified {
+        /// Recovered node.
+        node: u16,
+    },
+    /// Verification failed; the next attempt was scheduled after backoff.
+    RetryScheduled {
+        /// Recovering node.
+        node: u16,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// Backoff before the next attempt.
+        backoff: SimDuration,
+    },
+    /// `FAULT_DETECTED` was posted into a port's receive queue.
+    FaultDetectedPosted {
+        /// Recovered node.
+        node: u16,
+        /// The open port.
+        port: u8,
+    },
+    /// The attempt budget ran out: interface escalated to dead.
+    Escalated {
+        /// The dead interface's node.
+        node: u16,
+        /// Reload attempts spent before giving up.
+        attempts: u32,
+    },
+    /// Escalation failed outstanding sends back to applications.
+    OutstandingSendsFailed {
+        /// The dead interface's node.
+        node: u16,
+        /// Sends failed back.
+        count: u64,
+    },
+    /// The FTD went back to sleep.
+    FtdSleeping {
+        /// Node whose FTD sleeps.
+        node: u16,
+    },
+
+    // --- per-process recovery -------------------------------------------
+    /// `FAULT_DETECTED` entered `gm_unknown()` on a port.
+    GmUnknownEntered {
+        /// Recovering node.
+        node: u16,
+        /// The port.
+        port: u8,
+    },
+    /// A stale per-port handler stepped aside for a newer recovery.
+    StaleHandlerSuperseded {
+        /// Recovering node.
+        node: u16,
+        /// The port.
+        port: u8,
+    },
+    /// A port finished its handler and reopened.
+    PortReopened {
+        /// Recovered node.
+        node: u16,
+        /// The reopened port.
+        port: u8,
+        /// Backed-up sends replayed.
+        sends_replayed: u32,
+        /// Backed-up receive buffers re-provided.
+        recvs_replayed: u32,
+        /// Per-destination sequence streams restored.
+        streams_restored: u32,
+    },
+}
+
+/// Number of [`TraceKind`] variants (sizes the metrics counter array).
+pub const KIND_COUNT: usize = 38;
+
+/// Stable kind names, indexed by [`TraceKind::kind_index`].
+pub const KIND_NAMES: [&str; KIND_COUNT] = [
+    "SendPosted",
+    "SendCompleted",
+    "SendFailed",
+    "RecvProvided",
+    "MessageReceived",
+    "DmaStaged",
+    "DmaDone",
+    "CommitAdvanced",
+    "Resent",
+    "WatchdogArmed",
+    "WatchdogRearmed",
+    "WatchdogFired",
+    "FaultInjected",
+    "ForcedHang",
+    "LinkDown",
+    "LinkUp",
+    "NoiseOpened",
+    "NoiseClosed",
+    "FtdFatalIgnoredDead",
+    "FtdReverifyQueued",
+    "FtdWoken",
+    "FtdRunning",
+    "ProbeWritten",
+    "ProbeFalseAlarm",
+    "ProbeConfirmedHang",
+    "ProbeRequeued",
+    "RecoveryAttempt",
+    "RecoveryPhaseDone",
+    "ReloadVerifying",
+    "ReloadVerified",
+    "RetryScheduled",
+    "FaultDetectedPosted",
+    "Escalated",
+    "OutstandingSendsFailed",
+    "FtdSleeping",
+    "GmUnknownEntered",
+    "StaleHandlerSuperseded",
+    "PortReopened",
+];
+
+impl TraceKind {
+    /// Dense index into [`KIND_NAMES`] / the metrics counter array.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            TraceKind::SendPosted { .. } => 0,
+            TraceKind::SendCompleted { .. } => 1,
+            TraceKind::SendFailed { .. } => 2,
+            TraceKind::RecvProvided { .. } => 3,
+            TraceKind::MessageReceived { .. } => 4,
+            TraceKind::DmaStaged { .. } => 5,
+            TraceKind::DmaDone { .. } => 6,
+            TraceKind::CommitAdvanced { .. } => 7,
+            TraceKind::Resent { .. } => 8,
+            TraceKind::WatchdogArmed { .. } => 9,
+            TraceKind::WatchdogRearmed { .. } => 10,
+            TraceKind::WatchdogFired { .. } => 11,
+            TraceKind::FaultInjected { .. } => 12,
+            TraceKind::ForcedHang { .. } => 13,
+            TraceKind::LinkDown { .. } => 14,
+            TraceKind::LinkUp { .. } => 15,
+            TraceKind::NoiseOpened => 16,
+            TraceKind::NoiseClosed => 17,
+            TraceKind::FtdFatalIgnoredDead { .. } => 18,
+            TraceKind::FtdReverifyQueued { .. } => 19,
+            TraceKind::FtdWoken { .. } => 20,
+            TraceKind::FtdRunning { .. } => 21,
+            TraceKind::ProbeWritten { .. } => 22,
+            TraceKind::ProbeFalseAlarm { .. } => 23,
+            TraceKind::ProbeConfirmedHang { .. } => 24,
+            TraceKind::ProbeRequeued { .. } => 25,
+            TraceKind::RecoveryAttempt { .. } => 26,
+            TraceKind::RecoveryPhaseDone { .. } => 27,
+            TraceKind::ReloadVerifying { .. } => 28,
+            TraceKind::ReloadVerified { .. } => 29,
+            TraceKind::RetryScheduled { .. } => 30,
+            TraceKind::FaultDetectedPosted { .. } => 31,
+            TraceKind::Escalated { .. } => 32,
+            TraceKind::OutstandingSendsFailed { .. } => 33,
+            TraceKind::FtdSleeping { .. } => 34,
+            TraceKind::GmUnknownEntered { .. } => 35,
+            TraceKind::StaleHandlerSuperseded { .. } => 36,
+            TraceKind::PortReopened { .. } => 37,
+        }
+    }
+
+    /// Stable kind name for JSON exports.
+    pub fn name(&self) -> &'static str {
+        KIND_NAMES.get(self.kind_index()).copied().unwrap_or("Unknown")
+    }
+
+    /// Short category tag (`"wdog"`, `"ftd"`, `"fault"`, `"recov"`,
+    /// `"gm"`, `"dma"`, `"mcp"`, `"net"`), mirroring the render column.
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceKind::SendPosted { .. }
+            | TraceKind::SendCompleted { .. }
+            | TraceKind::SendFailed { .. }
+            | TraceKind::RecvProvided { .. }
+            | TraceKind::MessageReceived { .. } => "gm",
+            TraceKind::DmaStaged { .. } | TraceKind::DmaDone { .. } => "dma",
+            TraceKind::CommitAdvanced { .. } | TraceKind::Resent { .. } => "mcp",
+            TraceKind::WatchdogArmed { .. }
+            | TraceKind::WatchdogRearmed { .. }
+            | TraceKind::WatchdogFired { .. } => "wdog",
+            TraceKind::FaultInjected { .. }
+            | TraceKind::ForcedHang { .. }
+            | TraceKind::LinkDown { .. }
+            | TraceKind::LinkUp { .. }
+            | TraceKind::NoiseOpened
+            | TraceKind::NoiseClosed => "fault",
+            TraceKind::GmUnknownEntered { .. }
+            | TraceKind::StaleHandlerSuperseded { .. }
+            | TraceKind::PortReopened { .. } => "recov",
+            _ => "ftd",
+        }
+    }
+
+    /// The node the event concerns, if any (Chrome-trace `pid`).
+    pub fn node(&self) -> Option<u16> {
+        match *self {
+            TraceKind::SendPosted { node, .. }
+            | TraceKind::SendCompleted { node, .. }
+            | TraceKind::SendFailed { node, .. }
+            | TraceKind::RecvProvided { node, .. }
+            | TraceKind::MessageReceived { node, .. }
+            | TraceKind::DmaStaged { node, .. }
+            | TraceKind::DmaDone { node, .. }
+            | TraceKind::CommitAdvanced { node, .. }
+            | TraceKind::Resent { node, .. }
+            | TraceKind::WatchdogArmed { node, .. }
+            | TraceKind::WatchdogRearmed { node, .. }
+            | TraceKind::WatchdogFired { node }
+            | TraceKind::FaultInjected { node, .. }
+            | TraceKind::ForcedHang { node }
+            | TraceKind::FtdFatalIgnoredDead { node }
+            | TraceKind::FtdReverifyQueued { node }
+            | TraceKind::FtdWoken { node }
+            | TraceKind::FtdRunning { node }
+            | TraceKind::ProbeWritten { node, .. }
+            | TraceKind::ProbeFalseAlarm { node }
+            | TraceKind::ProbeConfirmedHang { node }
+            | TraceKind::ProbeRequeued { node }
+            | TraceKind::RecoveryAttempt { node, .. }
+            | TraceKind::RecoveryPhaseDone { node, .. }
+            | TraceKind::ReloadVerifying { node }
+            | TraceKind::ReloadVerified { node }
+            | TraceKind::RetryScheduled { node, .. }
+            | TraceKind::FaultDetectedPosted { node, .. }
+            | TraceKind::Escalated { node, .. }
+            | TraceKind::OutstandingSendsFailed { node, .. }
+            | TraceKind::FtdSleeping { node }
+            | TraceKind::GmUnknownEntered { node, .. }
+            | TraceKind::StaleHandlerSuperseded { node, .. }
+            | TraceKind::PortReopened { node, .. } => Some(node),
+            TraceKind::LinkDown { .. }
+            | TraceKind::LinkUp { .. }
+            | TraceKind::NoiseOpened
+            | TraceKind::NoiseClosed => None,
+        }
+    }
+
+    /// High-frequency kinds update metrics but are only *stored* in
+    /// [`TraceMode::Full`] — per-message traffic would otherwise dominate
+    /// both memory and the rendered timeline.
+    pub fn is_high_frequency(&self) -> bool {
+        matches!(
+            self,
+            TraceKind::SendPosted { .. }
+                | TraceKind::SendCompleted { .. }
+                | TraceKind::RecvProvided { .. }
+                | TraceKind::MessageReceived { .. }
+                | TraceKind::DmaStaged { .. }
+                | TraceKind::DmaDone { .. }
+                | TraceKind::CommitAdvanced { .. }
+                | TraceKind::Resent { .. }
+                | TraceKind::WatchdogRearmed { .. }
+        )
+    }
+
+    /// Human-readable description (the render line's message column).
+    pub fn message(&self) -> String {
+        match *self {
+            TraceKind::SendPosted { node, port, token, len, depth } => format!(
+                "node{node} port {port}: send posted (token {token}, {len}B, depth {depth})"
+            ),
+            TraceKind::SendCompleted { node, port, token } => {
+                format!("node{node} port {port}: send completed (token {token})")
+            }
+            TraceKind::SendFailed { node, port, token } => {
+                format!("node{node} port {port}: send FAILED (token {token})")
+            }
+            TraceKind::RecvProvided { node, port, token, depth } => format!(
+                "node{node} port {port}: receive buffer provided (token {token}, depth {depth})"
+            ),
+            TraceKind::MessageReceived { node, port, src_node, src_port, len } => format!(
+                "node{node} port {port}: received {len}B from node{src_node} port {src_port}"
+            ),
+            TraceKind::DmaStaged { node, len } => {
+                format!("node{node}: host DMA staged ({len}B)")
+            }
+            TraceKind::DmaDone { node, dir, len } => {
+                format!("node{node}: host DMA done ({}, {len}B)", dir.name())
+            }
+            TraceKind::CommitAdvanced { node, messages } => {
+                format!("node{node}: delayed-ACK commit advanced (+{messages} messages)")
+            }
+            TraceKind::Resent { node, chunks } => {
+                format!("node{node}: retransmitted {chunks} chunks")
+            }
+            TraceKind::WatchdogArmed { node, ticks } => {
+                format!("node{node}: IT1 watchdog armed ({ticks} ticks)")
+            }
+            TraceKind::WatchdogRearmed { node, gap } => {
+                format!("node{node}: IT1 re-armed by L_timer (gap {gap})")
+            }
+            TraceKind::WatchdogFired { node } => {
+                format!("node{node}: IT1 expired — FATAL interrupt at driver")
+            }
+            TraceKind::FaultInjected { node, bit } => {
+                format!("node{node}: fault injected (bit {bit})")
+            }
+            TraceKind::ForcedHang { node } => format!("node{node}: forced hang"),
+            TraceKind::LinkDown { link } => format!("link {link} down"),
+            TraceKind::LinkUp { link } => format!("link {link} back up"),
+            TraceKind::NoiseOpened => "fabric noise window opens".to_string(),
+            TraceKind::NoiseClosed => "fabric noise window closes".to_string(),
+            TraceKind::FtdFatalIgnoredDead { node } => {
+                format!("node{node}: FATAL on dead interface ignored")
+            }
+            TraceKind::FtdReverifyQueued { node } => {
+                format!("node{node}: FATAL during recovery — re-verification queued")
+            }
+            TraceKind::FtdWoken { node } => format!("node{node}: driver wakes FTD"),
+            TraceKind::FtdRunning { node } => format!("node{node}: FTD running"),
+            TraceKind::ProbeWritten { node, ok: true } => {
+                format!("node{node}: magic-word probe written")
+            }
+            TraceKind::ProbeWritten { node, ok: false } => {
+                format!("node{node}: magic-word probe write FAILED (treating as hung)")
+            }
+            TraceKind::ProbeFalseAlarm { node } => {
+                format!("node{node}: probe cleared — false alarm")
+            }
+            TraceKind::ProbeConfirmedHang { node } => {
+                format!("node{node}: magic word intact — hang confirmed")
+            }
+            TraceKind::ProbeRequeued { node } => {
+                format!("node{node}: queued FATAL — probing again")
+            }
+            TraceKind::RecoveryAttempt { node, attempt, max_attempts } => {
+                format!("node{node}: reset/reload attempt {attempt}/{max_attempts}")
+            }
+            TraceKind::RecoveryPhaseDone { node, phase, .. } => {
+                format!("node{node}: {} done", phase.label())
+            }
+            TraceKind::ReloadVerifying { node } => {
+                format!("node{node}: verifying reloaded MCP")
+            }
+            TraceKind::ReloadVerified { node } => {
+                format!("node{node}: reloaded MCP verified alive")
+            }
+            TraceKind::RetryScheduled { node, attempt, backoff } => format!(
+                "node{node}: reload verification FAILED (attempt {attempt}) — retry in {backoff}"
+            ),
+            TraceKind::FaultDetectedPosted { node, port } => {
+                format!("node{node}: FAULT_DETECTED posted port {port}")
+            }
+            TraceKind::Escalated { node, attempts } => {
+                format!("node{node}: escalating — interface DEAD after {attempts} failed reloads")
+            }
+            TraceKind::OutstandingSendsFailed { node, count } => {
+                format!("node{node}: {count} outstanding sends failed back to applications")
+            }
+            TraceKind::FtdSleeping { node } => format!("node{node}: FTD sleeping again"),
+            TraceKind::GmUnknownEntered { node, port } => {
+                format!("node{node} port {port}: FAULT_DETECTED entered gm_unknown()")
+            }
+            TraceKind::StaleHandlerSuperseded { node, port } => {
+                format!("node{node} port {port}: stale handler superseded by newer recovery")
+            }
+            TraceKind::PortReopened { node, port, sends_replayed, recvs_replayed, streams_restored } => {
+                format!(
+                    "node{node} port {port}: port reopened ({sends_replayed} sends, \
+                     {recvs_replayed} recvs, {streams_restored} streams restored)"
+                )
+            }
+        }
+    }
+
+    /// Appends this kind's payload as JSON key/value pairs (leading comma
+    /// included per pair) — shared by the JSON-lines and Chrome exporters.
+    pub fn write_json_fields(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        // Writing to a String never fails; errors are impossible here and
+        // the write! results are () on the String impl path.
+        let w = out;
+        match *self {
+            TraceKind::SendPosted { node, port, token, len, depth } => {
+                let _ = write!(w, ",\"node\":{node},\"port\":{port},\"token\":{token},\"len\":{len},\"depth\":{depth}");
+            }
+            TraceKind::SendCompleted { node, port, token }
+            | TraceKind::SendFailed { node, port, token } => {
+                let _ = write!(w, ",\"node\":{node},\"port\":{port},\"token\":{token}");
+            }
+            TraceKind::RecvProvided { node, port, token, depth } => {
+                let _ = write!(w, ",\"node\":{node},\"port\":{port},\"token\":{token},\"depth\":{depth}");
+            }
+            TraceKind::MessageReceived { node, port, src_node, src_port, len } => {
+                let _ = write!(w, ",\"node\":{node},\"port\":{port},\"src_node\":{src_node},\"src_port\":{src_port},\"len\":{len}");
+            }
+            TraceKind::DmaStaged { node, len } => {
+                let _ = write!(w, ",\"node\":{node},\"len\":{len}");
+            }
+            TraceKind::DmaDone { node, dir, len } => {
+                let _ = write!(w, ",\"node\":{node},\"dir\":\"{}\",\"len\":{len}", dir.name());
+            }
+            TraceKind::CommitAdvanced { node, messages } => {
+                let _ = write!(w, ",\"node\":{node},\"messages\":{messages}");
+            }
+            TraceKind::Resent { node, chunks } => {
+                let _ = write!(w, ",\"node\":{node},\"chunks\":{chunks}");
+            }
+            TraceKind::WatchdogArmed { node, ticks } => {
+                let _ = write!(w, ",\"node\":{node},\"ticks\":{ticks}");
+            }
+            TraceKind::WatchdogRearmed { node, gap } => {
+                let _ = write!(w, ",\"node\":{node},\"gap_ns\":{}", gap.as_nanos());
+            }
+            TraceKind::WatchdogFired { node }
+            | TraceKind::ForcedHang { node }
+            | TraceKind::FtdFatalIgnoredDead { node }
+            | TraceKind::FtdReverifyQueued { node }
+            | TraceKind::FtdWoken { node }
+            | TraceKind::FtdRunning { node }
+            | TraceKind::ProbeFalseAlarm { node }
+            | TraceKind::ProbeConfirmedHang { node }
+            | TraceKind::ProbeRequeued { node }
+            | TraceKind::ReloadVerifying { node }
+            | TraceKind::ReloadVerified { node }
+            | TraceKind::FtdSleeping { node } => {
+                let _ = write!(w, ",\"node\":{node}");
+            }
+            TraceKind::FaultInjected { node, bit } => {
+                let _ = write!(w, ",\"node\":{node},\"bit\":{bit}");
+            }
+            TraceKind::LinkDown { link } | TraceKind::LinkUp { link } => {
+                let _ = write!(w, ",\"link\":{link}");
+            }
+            TraceKind::NoiseOpened | TraceKind::NoiseClosed => {}
+            TraceKind::ProbeWritten { node, ok } => {
+                let _ = write!(w, ",\"node\":{node},\"ok\":{ok}");
+            }
+            TraceKind::RecoveryAttempt { node, attempt, max_attempts } => {
+                let _ = write!(w, ",\"node\":{node},\"attempt\":{attempt},\"max_attempts\":{max_attempts}");
+            }
+            TraceKind::RecoveryPhaseDone { node, phase, dur } => {
+                let _ = write!(w, ",\"node\":{node},\"phase\":\"{}\",\"dur_ns\":{}", phase.name(), dur.as_nanos());
+            }
+            TraceKind::RetryScheduled { node, attempt, backoff } => {
+                let _ = write!(w, ",\"node\":{node},\"attempt\":{attempt},\"backoff_ns\":{}", backoff.as_nanos());
+            }
+            TraceKind::FaultDetectedPosted { node, port }
+            | TraceKind::GmUnknownEntered { node, port }
+            | TraceKind::StaleHandlerSuperseded { node, port } => {
+                let _ = write!(w, ",\"node\":{node},\"port\":{port}");
+            }
+            TraceKind::Escalated { node, attempts } => {
+                let _ = write!(w, ",\"node\":{node},\"attempts\":{attempts}");
+            }
+            TraceKind::OutstandingSendsFailed { node, count } => {
+                let _ = write!(w, ",\"node\":{node},\"count\":{count}");
+            }
+            TraceKind::PortReopened { node, port, sends_replayed, recvs_replayed, streams_restored } => {
+                let _ = write!(
+                    w,
+                    ",\"node\":{node},\"port\":{port},\"sends_replayed\":{sends_replayed},\"recvs_replayed\":{recvs_replayed},\"streams_restored\":{streams_restored}"
+                );
+            }
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// What the trace stores (metrics always update unless `Disabled`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record nothing, count nothing.
+    #[default]
+    Disabled,
+    /// Store milestone events; high-frequency kinds feed metrics only.
+    Milestones,
+    /// Store every event.
+    Full,
+}
+
+/// An append-only typed event log with an embedded metrics registry.
 ///
-/// Disabled traces drop events without allocating, so production-path code
-/// can trace unconditionally.
+/// Disabled traces drop events without allocating, so production-path
+/// code can emit unconditionally.
 ///
 /// # Example
 ///
 /// ```
-/// use ftgm_sim::{SimTime, Trace};
+/// use ftgm_sim::{SimTime, Trace, TraceKind};
 ///
 /// let mut trace = Trace::enabled();
-/// trace.record(SimTime::from_nanos(800_000), "wdog", "IT1 expired");
+/// trace.emit(SimTime::from_nanos(800_000), TraceKind::WatchdogFired { node: 0 });
 /// assert_eq!(trace.events().len(), 1);
 /// assert!(trace.render().contains("IT1 expired"));
+/// assert_eq!(trace.metrics().counter("WatchdogFired"), 1);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
-    enabled: bool,
+    mode: TraceMode,
     events: Vec<TraceEvent>,
+    metrics: Metrics,
 }
 
 impl Trace {
     /// Creates a disabled trace (records nothing).
     pub fn disabled() -> Self {
-        Trace {
-            enabled: false,
-            events: Vec::new(),
-        }
+        Trace::default()
     }
 
-    /// Creates an enabled trace.
+    /// Creates a milestone-level trace (the usual experiment setting).
     pub fn enabled() -> Self {
         Trace {
-            enabled: true,
-            events: Vec::new(),
+            mode: TraceMode::Milestones,
+            ..Trace::default()
         }
     }
 
-    /// Whether events are being recorded.
+    /// Creates a trace that stores every event, including high-frequency
+    /// token/DMA traffic.
+    pub fn full() -> Self {
+        Trace {
+            mode: TraceMode::Full,
+            ..Trace::default()
+        }
+    }
+
+    /// Whether events are being recorded at all.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.mode != TraceMode::Disabled
     }
 
-    /// Turns recording on or off without clearing history.
+    /// The current recording mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Turns recording on (milestone level) or off without clearing
+    /// history. A `Full` trace stays `Full` when re-enabled.
     pub fn set_enabled(&mut self, enabled: bool) {
-        self.enabled = enabled;
+        self.mode = match (enabled, self.mode) {
+            (false, _) => TraceMode::Disabled,
+            (true, TraceMode::Full) => TraceMode::Full,
+            (true, _) => TraceMode::Milestones,
+        };
     }
 
-    /// Records a milestone if the trace is enabled.
-    pub fn record(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
-        if self.enabled {
-            self.events.push(TraceEvent {
-                at,
-                category,
-                message: message.into(),
-            });
+    /// Records one typed event (and updates metrics) if enabled.
+    pub fn emit(&mut self, at: SimTime, kind: TraceKind) {
+        match self.mode {
+            TraceMode::Disabled => {}
+            TraceMode::Milestones => {
+                self.metrics.observe(at, &kind);
+                if !kind.is_high_frequency() {
+                    self.events.push(TraceEvent { at, kind });
+                }
+            }
+            TraceMode::Full => {
+                self.metrics.observe(at, &kind);
+                self.events.push(TraceEvent { at, kind });
+            }
         }
     }
 
-    /// All recorded milestones in insertion order.
+    /// All stored events in emission order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
-    /// Milestones matching a category tag.
+    /// The metrics registry fed by every emission (including
+    /// high-frequency kinds not stored at milestone level).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Stored events matching a category tag.
     pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.category == category)
+        self.events
+            .iter()
+            .filter(move |e| e.kind.category() == category)
     }
 
-    /// First milestone whose message contains `needle`.
-    pub fn find(&self, needle: &str) -> Option<&TraceEvent> {
-        self.events.iter().find(|e| e.message.contains(needle))
+    /// First stored event whose kind matches the predicate.
+    pub fn first_where(&self, pred: impl Fn(&TraceKind) -> bool) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| pred(&e.kind))
     }
 
-    /// Clears the recorded history.
+    /// Last stored event whose kind matches the predicate.
+    pub fn last_where(&self, pred: impl Fn(&TraceKind) -> bool) -> Option<&TraceEvent> {
+        self.events.iter().rev().find(|e| pred(&e.kind))
+    }
+
+    /// Number of stored events whose kind matches the predicate.
+    pub fn count_where(&self, pred: impl Fn(&TraceKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Clears the recorded history and resets the metrics.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.metrics = Metrics::default();
     }
 
-    /// Renders the timeline as aligned text, one milestone per line, with
-    /// absolute time and delta since the previous milestone.
+    /// Renders the milestone timeline as aligned text, one event per
+    /// line, with absolute time and delta since the previous milestone.
+    /// High-frequency events are omitted even from `Full` traces so the
+    /// Figure 9 timeline stays readable.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let mut prev: Option<SimTime> = None;
-        for ev in &self.events {
+        for ev in self.events.iter().filter(|e| !e.kind.is_high_frequency()) {
             let delta = prev.map(|p| ev.at.saturating_since(p));
             let delta_str = match delta {
                 Some(d) => format!("+{:>12.3}us", d.as_micros_f64()),
                 None => format!("{:>13}", ""),
             };
-            fmt::Write::write_fmt(
-                &mut out,
-                format_args!(
-                    "{:>14.3}us {} [{:<5}] {}\n",
-                    ev.at.as_micros_f64(),
-                    delta_str,
-                    ev.category,
-                    ev.message
-                ),
-            )
-            .expect("writing to String cannot fail");
+            out.push_str(&format!(
+                "{:>14.3}us {} [{:<5}] {}\n",
+                ev.at.as_micros_f64(),
+                delta_str,
+                ev.kind.category(),
+                ev.kind.message()
+            ));
             prev = Some(ev.at);
         }
         out
@@ -131,60 +951,132 @@ impl Trace {
 mod tests {
     use super::*;
 
-    #[test]
-    fn disabled_trace_records_nothing() {
-        let mut t = Trace::disabled();
-        t.record(SimTime::ZERO, "x", "hello");
-        assert!(t.events().is_empty());
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_us(us)
     }
 
     #[test]
-    fn enabled_trace_records() {
-        let mut t = Trace::enabled();
-        t.record(SimTime::from_nanos(5), "x", "hello");
-        t.record(SimTime::from_nanos(9), "y", "world");
-        assert_eq!(t.events().len(), 2);
-        assert_eq!(t.events()[1].message, "world");
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.emit(SimTime::ZERO, TraceKind::ForcedHang { node: 0 });
+        assert!(tr.events().is_empty());
+        assert_eq!(tr.metrics().total_events(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_records_and_counts() {
+        let mut tr = Trace::enabled();
+        tr.emit(t(5), TraceKind::ForcedHang { node: 1 });
+        tr.emit(t(9), TraceKind::FtdWoken { node: 1 });
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.metrics().counter("ForcedHang"), 1);
+        assert_eq!(tr.metrics().counter("FtdWoken"), 1);
+        assert!(matches!(tr.events()[1].kind, TraceKind::FtdWoken { node: 1 }));
+    }
+
+    #[test]
+    fn milestone_mode_counts_but_does_not_store_high_frequency() {
+        let mut tr = Trace::enabled();
+        tr.emit(
+            t(1),
+            TraceKind::SendPosted { node: 0, port: 0, token: 7, len: 256, depth: 1 },
+        );
+        tr.emit(t(2), TraceKind::WatchdogFired { node: 0 });
+        assert_eq!(tr.events().len(), 1, "high-frequency kind not stored");
+        assert_eq!(tr.metrics().counter("SendPosted"), 1, "but still counted");
+    }
+
+    #[test]
+    fn full_mode_stores_everything() {
+        let mut tr = Trace::full();
+        tr.emit(
+            t(1),
+            TraceKind::SendPosted { node: 0, port: 0, token: 7, len: 256, depth: 1 },
+        );
+        assert_eq!(tr.events().len(), 1);
     }
 
     #[test]
     fn by_category_filters() {
-        let mut t = Trace::enabled();
-        t.record(SimTime::ZERO, "a", "1");
-        t.record(SimTime::ZERO, "b", "2");
-        t.record(SimTime::ZERO, "a", "3");
-        assert_eq!(t.by_category("a").count(), 2);
+        let mut tr = Trace::enabled();
+        tr.emit(t(0), TraceKind::WatchdogFired { node: 0 });
+        tr.emit(t(0), TraceKind::ForcedHang { node: 0 });
+        tr.emit(t(0), TraceKind::WatchdogFired { node: 1 });
+        assert_eq!(tr.by_category("wdog").count(), 2);
+        assert_eq!(tr.by_category("fault").count(), 1);
     }
 
     #[test]
-    fn find_locates_substring() {
-        let mut t = Trace::enabled();
-        t.record(SimTime::ZERO, "a", "watchdog fired");
-        assert!(t.find("dog").is_some());
-        assert!(t.find("cat").is_none());
+    fn typed_queries_locate_events() {
+        let mut tr = Trace::enabled();
+        tr.emit(t(1), TraceKind::ForcedHang { node: 0 });
+        tr.emit(t(2), TraceKind::FtdWoken { node: 0 });
+        tr.emit(t(3), TraceKind::ForcedHang { node: 0 });
+        let first = tr
+            .first_where(|k| matches!(k, TraceKind::ForcedHang { .. }))
+            .expect("first");
+        let last = tr
+            .last_where(|k| matches!(k, TraceKind::ForcedHang { .. }))
+            .expect("last");
+        assert_eq!(first.at, t(1));
+        assert_eq!(last.at, t(3));
+        assert_eq!(tr.count_where(|k| matches!(k, TraceKind::ForcedHang { .. })), 2);
+        assert!(tr.first_where(|k| matches!(k, TraceKind::Escalated { .. })).is_none());
     }
 
     #[test]
-    fn render_contains_deltas() {
-        let mut t = Trace::enabled();
-        t.record(SimTime::from_nanos(1_000), "a", "first");
-        t.record(SimTime::from_nanos(3_500), "b", "second");
-        let rendered = t.render();
-        assert!(rendered.contains("first"));
+    fn render_contains_deltas_and_messages() {
+        let mut tr = Trace::enabled();
+        tr.emit(t(1), TraceKind::WatchdogFired { node: 1 });
+        tr.emit(
+            SimTime::from_nanos(3_500),
+            TraceKind::FtdWoken { node: 1 },
+        );
+        let rendered = tr.render();
+        assert!(rendered.contains("IT1 expired"));
+        assert!(rendered.contains("driver wakes FTD"));
         assert!(rendered.contains("+"));
         assert!(rendered.contains("2.500us"), "rendered: {rendered}");
     }
 
     #[test]
-    fn set_enabled_toggles() {
-        let mut t = Trace::disabled();
-        t.set_enabled(true);
-        assert!(t.is_enabled());
-        t.record(SimTime::ZERO, "a", "x");
-        t.set_enabled(false);
-        t.record(SimTime::ZERO, "a", "y");
-        assert_eq!(t.events().len(), 1);
-        t.clear();
-        assert!(t.events().is_empty());
+    fn set_enabled_toggles_and_clear_resets_metrics() {
+        let mut tr = Trace::disabled();
+        tr.set_enabled(true);
+        assert!(tr.is_enabled());
+        tr.emit(SimTime::ZERO, TraceKind::ForcedHang { node: 0 });
+        tr.set_enabled(false);
+        tr.emit(SimTime::ZERO, TraceKind::ForcedHang { node: 0 });
+        assert_eq!(tr.events().len(), 1);
+        assert_eq!(tr.metrics().counter("ForcedHang"), 1);
+        tr.clear();
+        assert!(tr.events().is_empty());
+        assert_eq!(tr.metrics().total_events(), 0);
+    }
+
+    #[test]
+    fn kind_names_align_with_kind_index() {
+        let samples: Vec<(TraceKind, &str)> = vec![
+            (TraceKind::SendPosted { node: 0, port: 0, token: 0, len: 0, depth: 0 }, "SendPosted"),
+            (TraceKind::Resent { node: 0, chunks: 1 }, "Resent"),
+            (TraceKind::WatchdogFired { node: 0 }, "WatchdogFired"),
+            (TraceKind::NoiseClosed, "NoiseClosed"),
+            (TraceKind::RecoveryPhaseDone { node: 0, phase: RecoveryPhase::Reset, dur: SimDuration::ZERO }, "RecoveryPhaseDone"),
+            (
+                TraceKind::PortReopened { node: 0, port: 0, sends_replayed: 0, recvs_replayed: 0, streams_restored: 0 },
+                "PortReopened",
+            ),
+        ];
+        for (kind, name) in samples {
+            assert_eq!(kind.name(), name);
+            assert_eq!(KIND_NAMES[kind.kind_index()], name);
+        }
+    }
+
+    #[test]
+    fn recovery_phase_order_is_dense() {
+        for (i, p) in RecoveryPhase::ORDER.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
     }
 }

@@ -1,0 +1,52 @@
+//! Determinism regression: the observability layer must not introduce any
+//! thread-count or replay sensitivity. The same `(scenario, seed)` pair
+//! must produce byte-identical exported traces, metrics, and reports
+//! whether the campaign runs on one worker thread or several, and across
+//! repeated runs in the same process.
+//!
+//! Release-gated (like `chaos_smoke`): the standard scenario set simulates
+//! tens of seconds of fabric time per scenario.
+
+use ftgm_faults::campaign::run_scenarios_parallel;
+use ftgm_faults::chaos::standard_scenarios;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: full chaos scenarios are slow unoptimized (ci.sh runs this with --release)"
+)]
+fn exports_are_byte_identical_across_thread_counts() {
+    let scenarios = standard_scenarios();
+    let single = run_scenarios_parallel(&scenarios, 2003, 1);
+    let multi = run_scenarios_parallel(&scenarios, 2003, 3);
+    assert_eq!(single.len(), multi.len());
+    for (a, b) in single.iter().zip(&multi) {
+        let name = &a.report.scenario;
+        assert_eq!(a.report.scenario, b.report.scenario, "output order preserved");
+        assert!(!a.trace_jsonl.is_empty(), "{name}: trace exported");
+        assert_eq!(a.trace_jsonl, b.trace_jsonl, "{name}: event stream diverged");
+        assert_eq!(a.chrome_trace, b.chrome_trace, "{name}: chrome trace diverged");
+        assert_eq!(a.metrics_json, b.metrics_json, "{name}: metrics diverged");
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "{name}: report diverged"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: full chaos scenarios are slow unoptimized (ci.sh runs this with --release)"
+)]
+fn exports_are_byte_identical_across_repeated_runs() {
+    let scenarios = standard_scenarios();
+    let first = run_scenarios_parallel(&scenarios, 7, 2);
+    let second = run_scenarios_parallel(&scenarios, 7, 2);
+    for (a, b) in first.iter().zip(&second) {
+        let name = &a.report.scenario;
+        assert_eq!(a.trace_jsonl, b.trace_jsonl, "{name}: replay diverged");
+        assert_eq!(a.metrics_json, b.metrics_json, "{name}: metrics replay diverged");
+    }
+}

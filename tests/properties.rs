@@ -6,13 +6,14 @@ use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use ftgm_core::{FtSystem, RecoveryReport};
 use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
 use ftgm_gm::{World, WorldConfig};
 use ftgm_lanai::isa::{Instr, Opcode};
 use ftgm_mcp::packet::{build_data_frame, flags, Header};
 use ftgm_net::fabric::LinkFaults;
 use ftgm_net::{Endpoint, Fabric, FabricParams, Mapper, NodeId, Topology};
-use ftgm_sim::{SimDuration, SimRng, SimTime};
+use ftgm_sim::{HistId, RecoveryPhase, SimDuration, SimRng, SimTime, Trace, TraceKind};
 
 proptest! {
     /// Any 32-bit word that decodes re-encodes to exactly itself: the
@@ -182,5 +183,214 @@ proptest! {
         // The receiver's ACK table knows the final message's sequence.
         let hp1 = w.nodes[1].ports[2].as_ref().unwrap();
         prop_assert_eq!(hp1.backup.expected_seqs().len(), 1);
+    }
+}
+
+/// A strategy over the observability event kinds the metrics registry
+/// derives histograms from, with arbitrary field values.
+fn arb_obs_kind() -> impl Strategy<Value = TraceKind> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>(), any::<u64>(), 1u32..100_000, any::<u32>())
+            .prop_map(|(node, port, token, len, depth)| TraceKind::SendPosted {
+                node, port, token, len, depth
+            }),
+        (any::<u16>(), any::<u8>(), any::<u64>(), any::<u32>()).prop_map(
+            |(node, port, token, depth)| TraceKind::RecvProvided { node, port, token, depth }
+        ),
+        (any::<u16>(), 0u64..10_000_000_000).prop_map(|(node, gap)| TraceKind::WatchdogRearmed {
+            node,
+            gap: SimDuration::from_nanos(gap),
+        }),
+        (any::<u16>(), 1u32..10, 0u64..10_000_000_000).prop_map(|(node, attempt, backoff)| {
+            TraceKind::RetryScheduled {
+                node,
+                attempt,
+                backoff: SimDuration::from_nanos(backoff),
+            }
+        }),
+        (any::<u16>(), 0usize..6, 0u64..10_000_000_000).prop_map(|(node, p, dur)| {
+            TraceKind::RecoveryPhaseDone {
+                node,
+                phase: RecoveryPhase::ORDER[p],
+                dur: SimDuration::from_nanos(dur),
+            }
+        }),
+        (any::<u16>(), any::<u64>())
+            .prop_map(|(node, bit)| TraceKind::FaultInjected { node, bit }),
+        any::<u16>().prop_map(|node| TraceKind::ForcedHang { node }),
+        any::<u16>().prop_map(|node| TraceKind::FtdWoken { node }),
+        (any::<u16>(), any::<u64>()).prop_map(|(node, chunks)| TraceKind::Resent { node, chunks }),
+        (any::<u16>(), any::<u64>())
+            .prop_map(|(node, messages)| TraceKind::CommitAdvanced { node, messages }),
+        any::<u16>().prop_map(|node| TraceKind::WatchdogFired { node }),
+    ]
+}
+
+proptest! {
+    /// For ANY interleaving of observability events, the metrics registry
+    /// stays consistent with the event stream: every counter equals the
+    /// number of emissions of its kind, every histogram's sample count
+    /// equals the number of events that feed it, and the registry is
+    /// identical whether the trace stores all events (`Full`) or only
+    /// milestones (`Milestones`) — storage filtering never changes
+    /// accounting.
+    #[test]
+    fn histogram_totals_equal_event_counts_for_any_interleaving(
+        kinds in proptest::collection::vec(arb_obs_kind(), 0..200),
+        offsets in proptest::collection::vec(0u64..5_000_000_000, 0..200),
+    ) {
+        let mut offsets = offsets;
+        offsets.sort_unstable();
+        let mut full = Trace::full();
+        let mut milestones = Trace::enabled();
+        // Replicate the detection-latency pairing rule (fault activation →
+        // next FTD wake on the same node) to predict that histogram.
+        let mut pending: std::collections::BTreeSet<u16> = Default::default();
+        let mut expected_detections = 0u64;
+        let mut per_kind: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        let mut per_phase = [0u64; 6];
+        for (i, kind) in kinds.iter().enumerate() {
+            let at = SimTime::ZERO
+                + SimDuration::from_nanos(offsets.get(i).copied().unwrap_or(i as u64));
+            *per_kind.entry(kind.name()).or_insert(0) += 1;
+            match kind {
+                TraceKind::FaultInjected { node, .. } | TraceKind::ForcedHang { node } => {
+                    pending.insert(*node);
+                }
+                TraceKind::FtdWoken { node } => {
+                    if pending.remove(node) {
+                        expected_detections += 1;
+                    }
+                }
+                TraceKind::RecoveryPhaseDone { phase, .. } => {
+                    per_phase[phase.index()] += 1;
+                }
+                _ => {}
+            }
+            full.emit(at, *kind);
+            milestones.emit(at, *kind);
+        }
+
+        let m = full.metrics();
+        prop_assert_eq!(m.total_events(), kinds.len() as u64);
+        for (name, count) in &per_kind {
+            prop_assert_eq!(m.counter(name), *count, "counter {}", name);
+        }
+        prop_assert_eq!(
+            m.hist(HistId::SendQueueDepth).count,
+            per_kind.get("SendPosted").copied().unwrap_or(0)
+        );
+        prop_assert_eq!(
+            m.hist(HistId::RecvQueueDepth).count,
+            per_kind.get("RecvProvided").copied().unwrap_or(0)
+        );
+        prop_assert_eq!(
+            m.hist(HistId::WatchdogGap).count,
+            per_kind.get("WatchdogRearmed").copied().unwrap_or(0)
+        );
+        prop_assert_eq!(
+            m.hist(HistId::RetryBackoff).count,
+            per_kind.get("RetryScheduled").copied().unwrap_or(0)
+        );
+        prop_assert_eq!(m.hist(HistId::DetectionLatency).count, expected_detections);
+        for phase in RecoveryPhase::ORDER {
+            prop_assert_eq!(
+                m.hist(HistId::for_phase(phase)).count,
+                per_phase[phase.index()],
+                "phase {:?}", phase
+            );
+        }
+        // Bucket rows always re-sum to their count.
+        for id in HistId::ALL {
+            let h = m.hist(id);
+            prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count, "{:?}", id);
+        }
+        // Storage mode never changes accounting, only what is kept.
+        prop_assert_eq!(
+            m.to_json_indented(0),
+            milestones.metrics().to_json_indented(0)
+        );
+        prop_assert_eq!(full.events().len(), kinds.len());
+        prop_assert_eq!(
+            milestones.events().len(),
+            kinds.iter().filter(|k| !k.is_high_frequency()).count()
+        );
+    }
+
+    /// `RecoveryReport`'s three Table 3 components always partition the
+    /// episode exactly: detection + FTD + per-process == total, for any
+    /// milestone spacing.
+    #[test]
+    fn recovery_report_components_sum_to_total(
+        start in 0u64..1_000_000_000,
+        d1 in 0u64..2_000_000,
+        d2 in 0u64..2_000_000_000,
+        d3 in 0u64..2_000_000_000,
+    ) {
+        let t = |ns: u64| SimTime::ZERO + SimDuration::from_nanos(ns);
+        let mut tr = Trace::enabled();
+        tr.emit(t(start), TraceKind::ForcedHang { node: 0 });
+        tr.emit(t(start + d1), TraceKind::FtdWoken { node: 0 });
+        tr.emit(t(start + d1 + d2), TraceKind::FaultDetectedPosted { node: 0, port: 2 });
+        tr.emit(
+            t(start + d1 + d2 + d3),
+            TraceKind::PortReopened {
+                node: 0,
+                port: 2,
+                sends_replayed: 0,
+                recvs_replayed: 0,
+                streams_restored: 0,
+            },
+        );
+        let r = RecoveryReport::from_trace(&tr).expect("complete");
+        prop_assert_eq!(r.detection() + r.ftd_time() + r.per_process(), r.total());
+        prop_assert_eq!(r.detection(), SimDuration::from_nanos(d1));
+        prop_assert_eq!(r.ftd_time(), SimDuration::from_nanos(d2));
+        prop_assert_eq!(r.per_process(), SimDuration::from_nanos(d3));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Recovery-phase spans never overlap on a node, wherever the fault
+    /// lands: each `RecoveryPhaseDone` span `(at - dur, at]` starts at or
+    /// after the previous phase's completion, per node, across the whole
+    /// run — including back-to-back episodes on both nodes.
+    #[test]
+    fn phase_spans_never_overlap_per_node(
+        hang0_ms in 1u64..30,
+        hang1_ms in 1u64..30,
+    ) {
+        let mut config = WorldConfig::ftgm();
+        config.trace = true;
+        let mut w = World::two_node(config);
+        let ft = FtSystem::install(&mut w);
+        w.run_for(SimDuration::from_ms(hang0_ms));
+        ft.inject_forced_hang(&mut w, NodeId(0));
+        w.run_for(SimDuration::from_ms(hang1_ms));
+        ft.inject_forced_hang(&mut w, NodeId(1));
+        w.run_for(SimDuration::from_secs(4));
+        prop_assert_eq!(ft.recoveries(NodeId(0)), 1);
+        prop_assert_eq!(ft.recoveries(NodeId(1)), 1);
+        for node in [0u16, 1] {
+            let mut prev_end: Option<SimTime> = None;
+            for e in w.trace.events() {
+                if let TraceKind::RecoveryPhaseDone { node: n, dur, .. } = e.kind {
+                    if n != node {
+                        continue;
+                    }
+                    let start_ns = e.at.as_nanos().saturating_sub(dur.as_nanos());
+                    if let Some(end) = prev_end {
+                        prop_assert!(
+                            SimTime::from_nanos(start_ns) >= end,
+                            "node {} phase span overlaps predecessor", node
+                        );
+                    }
+                    prev_end = Some(e.at);
+                }
+            }
+            prop_assert!(prev_end.is_some(), "node {} recovered through phases", node);
+        }
     }
 }

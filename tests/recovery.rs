@@ -11,7 +11,7 @@ use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
 use ftgm_gm::{World, WorldConfig};
 use ftgm_lanai::timers::TimerId;
 use ftgm_net::NodeId;
-use ftgm_sim::SimDuration;
+use ftgm_sim::{SimDuration, TraceKind};
 
 fn ft_world() -> (World, FtSystem) {
     let mut config = WorldConfig::ftgm();
@@ -89,10 +89,7 @@ fn multi_port_process_recovery() {
     // Both ports went through FAULT_DETECTED.
     let posts = w
         .trace
-        .events()
-        .iter()
-        .filter(|e| e.message.contains("FAULT_DETECTED posted"))
-        .count();
+        .count_where(|k| matches!(k, TraceKind::FaultDetectedPosted { .. }));
     assert_eq!(posts, 2, "one per open port");
 }
 
