@@ -15,3 +15,21 @@ cargo test -q
 # debug builds are gated off with #[ignore] to keep the tier under budget).
 cargo test --release -q -p ftgm-core --test chaos_smoke --test determinism
 cargo run -q -p ftgm-lint -- --deny-new --quiet
+# Recovery-under-load SLO sweep: produces the perf-trajectory file
+# BENCH_slo.json (plus results/slo_summary.json) on every green build
+# and exits non-zero on any SLO-oracle violation.
+cargo run --release -q -p ftgm-bench --bin slo
+# Schema sanity: the summary must carry the expected keys and stay
+# integer-valued (a float would mean platform-dependent serialization).
+for key in '"schema": "ftgm-slo-v1"' '"cells"' '"steady_p50_ns"' \
+    '"steady_p99_ns"' '"steady_p999_ns"' '"steady_goodput_bytes_per_sec"' \
+    '"fault_blackout_ns"' '"recoveries"' '"violations"'; do
+    grep -q "$key" BENCH_slo.json || {
+        echo "BENCH_slo.json: missing required key $key" >&2
+        exit 1
+    }
+done
+if grep -Eq ':[[:space:]]*-?[0-9]+\.' BENCH_slo.json; then
+    echo "BENCH_slo.json: non-integer numeric value found" >&2
+    exit 1
+fi

@@ -45,7 +45,9 @@ pub enum ChaosTopology {
 }
 
 impl ChaosTopology {
-    fn build(self, config: WorldConfig) -> World {
+    /// Builds the world this topology describes (shared with the workload
+    /// driver, which runs traffic specs over the same shapes).
+    pub fn build(self, config: WorldConfig) -> World {
         match self {
             ChaosTopology::TwoNode => World::two_node(config),
             ChaosTopology::Star(n) => World::star(n, config),
@@ -53,7 +55,8 @@ impl ChaosTopology {
         }
     }
 
-    fn node_count(self) -> usize {
+    /// Number of hosts in the topology.
+    pub fn node_count(self) -> usize {
         match self {
             ChaosTopology::TwoNode => 2,
             ChaosTopology::Star(n) => n,
@@ -320,8 +323,11 @@ pub fn reports_to_json(reports: &[ChaosReport]) -> String {
     out
 }
 
-/// Applies one fault primitive right now.
-fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
+/// Applies one fault primitive right now. Public so other drivers (the
+/// workload subsystem's phase-timed fault points) compose with the same
+/// primitives the chaos scenarios use; `rng` supplies every random draw,
+/// keeping callers seed-replayable.
+pub fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
     match action {
         ChaosAction::BitFlip { node, target } => {
             flip_random_bit(world, NodeId(*node), *target, rng);

@@ -18,7 +18,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ftgm_net::NodeId;
-use ftgm_sim::{SimDuration, SimTime};
+use ftgm_sim::metrics::bytes_per_sec;
+use ftgm_sim::{Samples, SimDuration, SimTime};
 
 use crate::world::{App, Ctx, GmEvent};
 
@@ -26,11 +27,13 @@ use crate::world::{App, Ctx, GmEvent};
 // Ping-pong (Figure 8)
 // ---------------------------------------------------------------------------
 
-/// Results of a ping-pong run.
+/// Results of a ping-pong run. Latency statistics come from the shared
+/// [`Samples`] series, so quantiles behave identically across every
+/// workload in the workspace.
 #[derive(Clone, Debug, Default)]
 pub struct PingPongStats {
     /// Round-trip time of every measured iteration.
-    pub rtts: Vec<SimDuration>,
+    pub rtts: Samples,
     /// Whether the configured iteration count completed.
     pub done: bool,
 }
@@ -38,13 +41,9 @@ pub struct PingPongStats {
 impl PingPongStats {
     /// Mean half round-trip (the paper's one-way latency metric).
     pub fn mean_half_rtt(&self) -> Option<SimDuration> {
-        if self.rtts.is_empty() {
-            return None;
-        }
-        let total: u64 = self.rtts.iter().map(|d| d.as_nanos()).sum();
-        Some(SimDuration::from_nanos(
-            total / (2 * self.rtts.len() as u64),
-        ))
+        self.rtts
+            .mean()
+            .map(|m| SimDuration::from_nanos(m.as_nanos() / 2))
     }
 }
 
@@ -103,7 +102,7 @@ impl App for Pinger {
             ctx.gm_provide_receive_buffer(self.size.max(64));
             let rtt = ctx.now() - self.sent_at;
             if self.completed >= self.warmup {
-                self.stats.borrow_mut().rtts.push(rtt);
+                self.stats.borrow_mut().rtts.record(rtt);
             }
             self.completed += 1;
             if self.completed < self.warmup + self.iters {
@@ -168,12 +167,12 @@ pub struct StreamerStats {
 }
 
 impl StreamerStats {
-    /// Received data rate in MB/s over the window ending at `now`.
+    /// Received data rate in MB/s over the window ending at `now`
+    /// (computed from the shared integer goodput helper so every report
+    /// rounds identically).
     pub fn rate_mb_s(&self, now: SimTime) -> f64 {
         match self.window_start {
-            Some(t0) if now > t0 => {
-                self.received_bytes as f64 / (now - t0).as_secs_f64() / 1e6
-            }
+            Some(t0) if now > t0 => bytes_per_sec(self.received_bytes, now - t0) as f64 / 1e6,
             _ => 0.0,
         }
     }
@@ -559,11 +558,12 @@ mod tests {
 // Request/response RPC (service availability workloads)
 // ---------------------------------------------------------------------------
 
-/// Latency observations of the RPC client.
+/// Latency observations of the RPC client. Quantiles delegate to the
+/// shared [`Samples`] implementation (nearest-rank, `None` when empty).
 #[derive(Clone, Debug, Default)]
 pub struct RpcStats {
     /// Completed request→response round trips, in issue order.
-    pub latencies: Vec<SimDuration>,
+    pub latencies: Samples,
     /// Requests issued.
     pub issued: u64,
     /// Responses whose payload failed validation.
@@ -573,18 +573,12 @@ pub struct RpcStats {
 impl RpcStats {
     /// The `q`-quantile (0.0–1.0) of completed latencies.
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
-        if self.latencies.is_empty() {
-            return None;
-        }
-        let mut v = self.latencies.clone();
-        v.sort_unstable();
-        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(v[idx])
+        self.latencies.quantile(q)
     }
 
     /// Longest observed round trip.
     pub fn max(&self) -> Option<SimDuration> {
-        self.latencies.iter().copied().max()
+        self.latencies.max()
     }
 }
 
@@ -643,7 +637,7 @@ impl App for RpcClient {
             let id = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
             let mut s = self.stats.borrow_mut();
             if id == (self.next_id - 1) * 2 {
-                s.latencies.push(rtt);
+                s.latencies.record(rtt);
             } else {
                 s.bad_responses += 1;
             }

@@ -47,15 +47,22 @@ const R1_FILES: [&str; 8] = [
     "crates/sim/src/export.rs",
 ];
 
+/// R1, directory form: whole crates on the recovery path. The workload
+/// generators run *through* NIC hangs and recoveries by design (that is
+/// the point of the recovery-under-load suite), so a panic anywhere in
+/// the crate would abort the run it was measuring.
+const R1_DIRS: [&str; 1] = ["crates/workload/src/"];
+
 /// R2: crates whose code runs under (or feeds state into) the
 /// deterministic simulation.
-const R2_DIRS: [&str; 6] = [
+const R2_DIRS: [&str; 7] = [
     "crates/sim/src/",
     "crates/net/src/",
     "crates/mcp/src/",
     "crates/lanai/src/",
     "crates/gm/src/",
     "crates/faults/src/",
+    "crates/workload/src/",
 ];
 
 /// R3: the only modules allowed to assign sequence-number fields
@@ -111,7 +118,7 @@ pub fn scan(rel: &str, view: &FileView) -> Vec<Finding> {
     }
 
     let mut findings = Vec::new();
-    let r1 = R1_FILES.contains(&rel);
+    let r1 = R1_FILES.contains(&rel) || R1_DIRS.iter().any(|d| rel.starts_with(d));
     let r2 = R2_DIRS.iter().any(|d| rel.starts_with(d));
     let r3 = rel.starts_with("crates/")
         && rel.contains("/src/")
@@ -423,6 +430,25 @@ mod tests {
     fn r1_only_in_listed_files() {
         let f = scan_str("crates/net/src/fabric.rs", "fn f(x: Option<u8>) { x.unwrap(); }\n");
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn r1_and_r2_cover_the_workload_crate() {
+        // Directory scope: any module of crates/workload/src is on the
+        // recovery path (R1) and feeds the deterministic sim (R2).
+        let f = scan_str(
+            "crates/workload/src/gen.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); let _ = thread_rng(); }\n",
+        );
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().any(|x| x.rule == RECOVERY_NO_PANIC));
+        assert!(f.iter().any(|x| x.rule == DETERMINISM));
+        // A freshly added module is covered without editing any list.
+        let f = scan_str(
+            "crates/workload/src/future_module.rs",
+            "fn f() { let _ = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
     }
 
     #[test]

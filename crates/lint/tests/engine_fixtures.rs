@@ -123,6 +123,32 @@ fn r6_governs_all_crate_sources_but_not_tests() {
 }
 
 #[test]
+fn r2_workload_bad_flags_entropy_outside_sim_rng() {
+    // The workload crate's generators must draw all randomness through
+    // sim::rng; OS entropy, hash ordering and wall clocks all fire.
+    let f = scan_fixture("r2_workload_bad.rs", "crates/workload/src/gen.rs");
+    assert_eq!(f.len(), 5, "{f:#?}");
+    assert_all_rule(&f, rules::DETERMINISM);
+    assert!(f.iter().any(|x| x.snippet.contains("thread_rng")));
+    assert!(f.iter().any(|x| x.snippet.contains("Instant::now")));
+}
+
+#[test]
+fn r2_workload_good_seeded_simrng_is_clean() {
+    let f = scan_fixture("r2_workload_good.rs", "crates/workload/src/gen.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn r1_governs_the_whole_workload_crate() {
+    // R1 is directory-scoped for crates/workload: generators run through
+    // recoveries, so panicking constructs fire in any of its modules.
+    let f = scan_fixture("r1_bad.rs", "crates/workload/src/driver.rs");
+    assert_eq!(f.len(), 7, "{f:#?}");
+    assert_all_rule(&f, rules::RECOVERY_NO_PANIC);
+}
+
+#[test]
 fn suppression_fixture_honors_rule_specific_allows() {
     let f = scan_fixture("suppression.rs", "crates/core/src/recovery.rs");
     assert_eq!(f.len(), 1, "{f:#?}");

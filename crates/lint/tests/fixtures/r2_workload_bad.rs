@@ -1,0 +1,18 @@
+// Fixture: a workload generator drawing entropy and time from the OS —
+// every way a traffic generator could break seed-replayability. Scanned
+// as if at crates/workload/src/gen.rs. Expected findings: 5 (all
+// determinism; the fixture is deliberately R1-clean so the count is
+// attributable to one rule).
+
+use std::collections::HashMap;
+
+fn entropy_gap_ns() -> u64 {
+    // OS-seeded RNG: two runs of the same spec sample different gaps.
+    let mut rng = rand::thread_rng();
+    // Hash-ordered token table: drain order varies run to run.
+    let posted: HashMap<u64, u64> = HashMap::new();
+    // Wall clock as a timestamp source: latencies depend on host load.
+    let t = std::time::Instant::now();
+    let _ = (posted.len(), t);
+    rng.next_u64()
+}

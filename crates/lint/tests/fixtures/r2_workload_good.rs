@@ -1,0 +1,25 @@
+// Fixture: the sanctioned workload generator shape — all randomness
+// flows through a seeded SimRng, collections are ordered, and time
+// comes from the simulation clock. Scanned as if at
+// crates/workload/src/gen.rs. Expected findings: 0.
+
+use std::collections::BTreeMap;
+
+struct SimRng(u64);
+
+impl SimRng {
+    fn new(seed: u64) -> SimRng {
+        SimRng(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}
+
+fn seeded_gap_ns(seed: u64, now_ns: u64) -> u64 {
+    let mut rng = SimRng::new(seed);
+    let mut posted: BTreeMap<u64, u64> = BTreeMap::new();
+    posted.insert(rng.next_u64(), now_ns);
+    posted.len() as u64 + rng.next_u64() % 1000
+}

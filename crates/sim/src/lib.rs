@@ -39,7 +39,7 @@ pub mod sched;
 pub mod time;
 pub mod trace;
 
-pub use metrics::{HistId, Histogram, Metrics};
+pub use metrics::{HistId, Histogram, Metrics, Samples};
 pub use rng::SimRng;
 pub use sched::{EventId, Scheduler};
 pub use time::{SimDuration, SimTime};

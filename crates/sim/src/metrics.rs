@@ -11,8 +11,119 @@
 
 use std::collections::BTreeMap;
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{RecoveryPhase, TraceKind, KIND_COUNT, KIND_NAMES};
+
+/// Integer goodput in bytes per second over `window` (0 when the window
+/// is empty). Shared by every bandwidth/goodput report so they all round
+/// the same way.
+pub fn bytes_per_sec(bytes: u64, window: SimDuration) -> u64 {
+    let ns = window.as_nanos();
+    if ns == 0 {
+        return 0;
+    }
+    ((bytes as u128) * 1_000_000_000 / (ns as u128)) as u64
+}
+
+/// An exact-sample series of duration observations: the workspace's single
+/// quantile implementation.
+///
+/// Fixed-bucket [`Histogram`]s answer "roughly where did samples land"
+/// without allocation; `Samples` keeps every observation so workload and
+/// app stats can report exact p50/p95/p99/p999. All of them share this
+/// type so the quantile edge cases are defined exactly once:
+///
+/// * empty series → every statistic is `None`,
+/// * `q <= 0.0` (and NaN) → the minimum sample,
+/// * `q >= 1.0` → the maximum sample,
+/// * otherwise nearest-rank: the smallest sample whose cumulative
+///   frequency reaches `q`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Samples {
+    values: Vec<u64>,
+}
+
+impl Samples {
+    /// An empty series.
+    pub fn new() -> Samples {
+        Samples::default()
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.values.push(d.as_nanos());
+    }
+
+    /// Records one raw nanosecond sample.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.values.push(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sum of all samples in nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.values.iter().fold(0u64, |acc, &v| acc.saturating_add(v))
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.values.iter().min().map(|&v| SimDuration::from_nanos(v))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.values.iter().max().map(|&v| SimDuration::from_nanos(v))
+    }
+
+    /// Mean sample (rounded down to whole nanoseconds).
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(SimDuration::from_nanos(
+            self.sum_ns() / self.values.len() as u64,
+        ))
+    }
+
+    /// The nearest-rank `q`-quantile (see the type docs for edge cases).
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut v = self.values.clone();
+        v.sort_unstable();
+        let n = v.len();
+        // Nearest-rank: the smallest sample with cumulative probability
+        // >= q. `q <= 0` (and NaN, which fails the comparison) takes the
+        // minimum; ranks past the end clamp to the maximum.
+        let idx = if q > 0.0 {
+            let rank = (q * n as f64).ceil() as usize;
+            rank.saturating_sub(1).min(n - 1)
+        } else {
+            0
+        };
+        v.get(idx).copied().map(SimDuration::from_nanos)
+    }
+
+    /// Folds another series into this one (order-independent statistics).
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Read-only view of the raw samples in record order, in nanoseconds.
+    pub fn raw_ns(&self) -> &[u64] {
+        &self.values
+    }
+}
 
 /// The registered histograms.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -402,6 +513,85 @@ mod tests {
 
     fn t(us: u64) -> SimTime {
         SimTime::ZERO + SimDuration::from_us(us)
+    }
+
+    #[test]
+    fn samples_empty_is_all_none() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(1.0), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn samples_quantile_edge_cases() {
+        let mut s = Samples::new();
+        // Record out of order: quantiles must sort internally.
+        for ns in [40u64, 10, 30, 20] {
+            s.record_ns(ns);
+        }
+        let d = SimDuration::from_nanos;
+        assert_eq!(s.quantile(0.0), Some(d(10)), "q=0 is the minimum");
+        assert_eq!(s.quantile(-3.0), Some(d(10)), "q<0 clamps to minimum");
+        assert_eq!(s.quantile(1.0), Some(d(40)), "q=1 is the maximum");
+        assert_eq!(s.quantile(7.0), Some(d(40)), "q>1 clamps to maximum");
+        assert_eq!(s.quantile(f64::NAN), Some(d(10)), "NaN degrades to min");
+        // Nearest-rank interior points on n=4: rank = ceil(q*4).
+        assert_eq!(s.quantile(0.25), Some(d(10)));
+        assert_eq!(s.quantile(0.5), Some(d(20)));
+        assert_eq!(s.quantile(0.75), Some(d(30)));
+        assert_eq!(s.quantile(0.99), Some(d(40)));
+        assert_eq!(s.min(), Some(d(10)));
+        assert_eq!(s.max(), Some(d(40)));
+        assert_eq!(s.mean(), Some(d(25)));
+        assert_eq!(s.sum_ns(), 100);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn samples_single_value_every_quantile() {
+        let mut s = Samples::new();
+        s.record(SimDuration::from_us(7));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(SimDuration::from_us(7)), "q={q}");
+        }
+    }
+
+    #[test]
+    fn samples_merge_matches_sequential() {
+        let mut a = Samples::new();
+        let mut b = Samples::new();
+        let mut both = Samples::new();
+        for ns in [5u64, 100, 7] {
+            a.record_ns(ns);
+            both.record_ns(ns);
+        }
+        for ns in [1u64, 900] {
+            b.record_ns(ns);
+            both.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), both.len());
+        assert_eq!(a.quantile(0.5), both.quantile(0.5));
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+    }
+
+    #[test]
+    fn bytes_per_sec_rounds_down_and_handles_empty_window() {
+        assert_eq!(bytes_per_sec(1_000_000, SimDuration::from_secs(1)), 1_000_000);
+        assert_eq!(bytes_per_sec(1_500, SimDuration::from_ms(1)), 1_500_000);
+        assert_eq!(bytes_per_sec(0, SimDuration::from_secs(1)), 0);
+        assert_eq!(bytes_per_sec(123, SimDuration::ZERO), 0);
+        // Large products must not overflow: 1 TB over 1000 s.
+        assert_eq!(
+            bytes_per_sec(1_000_000_000_000, SimDuration::from_secs(1_000)),
+            1_000_000_000
+        );
     }
 
     #[test]

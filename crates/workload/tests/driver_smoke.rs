@@ -1,0 +1,65 @@
+//! End-to-end smoke tests for the workload driver: the demo suite
+//! runs, recovers from its scripted hang, and replays byte-for-byte.
+
+use ftgm_workload::{demo_suite, run_spec, run_suite_parallel, reports_to_json};
+
+#[test]
+fn demo_hang_recovers_under_load() {
+    let specs = demo_suite();
+    let hang = specs.into_iter().nth(1).expect("demo suite has 3 specs");
+    assert_eq!(hang.name, "demo_hang");
+    let report = run_spec(&hang);
+
+    assert_eq!(report.recoveries, 1, "the scripted hang must recover once");
+    assert_eq!(report.send_errors, 0);
+    assert_eq!(report.bad_responses, 0);
+    assert_eq!(report.iface_dead, 0);
+
+    let steady = report.steady().expect("steady phase present");
+    assert!(steady.completed > 100, "steady state must carry load");
+    assert!(
+        steady.completed_permille >= 990,
+        "steady state must be essentially fully served, got {}‰",
+        steady.completed_permille
+    );
+
+    let fault = report.fault().expect("fault phase present");
+    assert!(
+        fault.completed > 0,
+        "service must resume inside the fault window"
+    );
+    assert!(
+        fault.longest_gap_ns > 1_000_000_000,
+        "the hang must actually black out service for >1s, got {} ns",
+        fault.longest_gap_ns
+    );
+    assert!(
+        fault.longest_gap_ns < 2_000_000_000,
+        "recovery must land within the paper's 2s bound, got {} ns",
+        fault.longest_gap_ns
+    );
+
+    let total: u64 = report.phases.iter().map(|p| p.completed).sum();
+    assert_eq!(total, report.total_completed);
+}
+
+#[test]
+fn suite_replays_byte_identically() {
+    let a = reports_to_json(&run_suite_parallel(&demo_suite(), 1));
+    let b = reports_to_json(&run_suite_parallel(&demo_suite(), 3));
+    assert_eq!(a, b, "thread count must not leak into reports");
+    let c = reports_to_json(&run_suite_parallel(&demo_suite(), 3));
+    assert_eq!(b, c, "repeated runs must serialize identically");
+}
+
+#[test]
+fn open_loop_queues_through_token_exhaustion() {
+    let specs = demo_suite();
+    let open = specs.into_iter().next().expect("demo suite has 3 specs");
+    let report = run_spec(&open);
+    assert!(report.total_issued > 500, "got {}", report.total_issued);
+    // Everything offered before the drain phase must eventually land.
+    assert_eq!(report.total_completed, report.total_issued);
+    let steady = report.steady().expect("steady phase present");
+    assert!(steady.goodput_bytes_per_sec > 0);
+}

@@ -9,6 +9,7 @@
 
 use ftgm_faults::campaign::run_scenarios_parallel;
 use ftgm_faults::chaos::standard_scenarios;
+use ftgm_workload::{demo_suite, reports_to_json, run_suite_parallel};
 
 #[test]
 #[cfg_attr(
@@ -49,4 +50,38 @@ fn exports_are_byte_identical_across_repeated_runs() {
         assert_eq!(a.trace_jsonl, b.trace_jsonl, "{name}: replay diverged");
         assert_eq!(a.metrics_json, b.metrics_json, "{name}: metrics replay diverged");
     }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: the demo suite simulates seconds of fabric time (ci.sh runs this with --release)"
+)]
+fn workload_slo_reports_are_byte_identical_across_thread_counts() {
+    // Same spec + seed ⇒ byte-identical SloReport JSON, independent of
+    // how many worker threads the suite fans out over.
+    let single = reports_to_json(&run_suite_parallel(&demo_suite(), 1));
+    let multi = reports_to_json(&run_suite_parallel(&demo_suite(), 3));
+    assert!(!single.is_empty());
+    assert_eq!(single, multi, "thread count leaked into SLO reports");
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: the demo suite simulates seconds of fabric time (ci.sh runs this with --release)"
+)]
+fn workload_slo_reports_are_byte_identical_across_repeated_runs() {
+    let first = reports_to_json(&run_suite_parallel(&demo_suite(), 2));
+    let second = reports_to_json(&run_suite_parallel(&demo_suite(), 2));
+    assert_eq!(first, second, "SLO replay diverged");
+    // The reports actually carry signal: the scripted hang recovered.
+    let reports = run_suite_parallel(&demo_suite(), 2);
+    let hang = reports
+        .iter()
+        .filter(|r| r.name == "demo_hang")
+        .next()
+        .map(|r| r.recoveries)
+        .unwrap_or(0);
+    assert_eq!(hang, 1, "demo_hang must recover exactly once");
 }

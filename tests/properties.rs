@@ -394,3 +394,46 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Phase bucketing is a partition: whatever the offered load, seed,
+    /// and phase layout, the per-phase issued/completed counts of an
+    /// [`ftgm_workload::SloReport`] sum exactly to the run totals —
+    /// no event is dropped or double-counted at a phase boundary.
+    #[test]
+    fn workload_phase_counts_sum_to_run_totals(
+        gap_us in 20u64..120,
+        steady_ms in 5u64..40,
+        drain_ms in 5u64..20,
+        seed in any::<u64>(),
+    ) {
+        use ftgm_faults::chaos::ChaosTopology;
+        use ftgm_workload::{
+            run_spec, Arrival, ClientModel, FlowSpec, PhaseKind, SizeMix, Variant, WorkloadSpec,
+        };
+        let spec = WorkloadSpec::new("prop", ChaosTopology::TwoNode, Variant::Ftgm, seed)
+            .flow(FlowSpec {
+                src: 0,
+                src_port: 0,
+                dst: 1,
+                dst_port: 2,
+                model: ClientModel::OpenLoop {
+                    arrival: Arrival::Fixed { gap: SimDuration::from_us(gap_us) },
+                },
+                sizes: SizeMix::Fixed { bytes: 256 },
+            })
+            .phase(PhaseKind::Warmup, SimDuration::from_ms(2))
+            .phase(PhaseKind::Steady, SimDuration::from_ms(steady_ms))
+            .phase(PhaseKind::Drain, SimDuration::from_ms(drain_ms));
+        let report = run_spec(&spec);
+        prop_assert!(report.total_issued > 0, "spec must offer load");
+        let issued: u64 = report.phases.iter().map(|p| p.issued).sum();
+        let completed: u64 = report.phases.iter().map(|p| p.completed).sum();
+        prop_assert_eq!(issued, report.total_issued);
+        prop_assert_eq!(completed, report.total_completed);
+        let bytes: u64 = report.phases.iter().map(|p| p.bytes).sum();
+        prop_assert_eq!(bytes, report.total_completed * 256);
+    }
+}
