@@ -1,26 +1,62 @@
 #!/bin/sh
 # Tier-1 gate: build, test, and lint the workspace.
 #
+# Every step runs under a wall-clock budget (seconds). A step that blows
+# its budget fails the gate: slow tests are treated as regressions, not
+# background noise. The slowest steps are reported at the end so creep
+# is visible before it becomes a failure. (libtest's per-test
+# --report-time is still nightly-only, so timing is per suite/step.)
+#
 # The lint step uses --deny-new so CI fails both on new rule violations
 # and on a stale baseline (violations fixed but not removed from the
 # ledger). See docs/STATIC_ANALYSIS.md.
 set -eu
 cd "$(dirname "$0")"
 
-cargo build --release
-cargo test -q
+REPORT=$(mktemp)
+trap 'rm -f "$REPORT"' EXIT
+
+# step <name> <budget-seconds> <command...>: run, record, enforce.
+step() {
+    _name="$1"
+    _budget="$2"
+    shift 2
+    _start=$(date +%s)
+    "$@"
+    _dur=$(( $(date +%s) - _start ))
+    printf '%6ds  %-28s (budget %4ss)\n' "$_dur" "$_name" "$_budget" >> "$REPORT"
+    if [ "$_dur" -gt "$_budget" ]; then
+        echo "ci: step '$_name' took ${_dur}s, over its ${_budget}s budget" >&2
+        sort -rn "$REPORT" >&2
+        exit 1
+    fi
+}
+
+step build 900 cargo build --release
+step test-debug 1800 cargo test -q
 # Chaos smoke + determinism regression: the deterministic multi-fault
-# scenario set, and the byte-identical-exports check across thread counts.
-# Both run in release (the scenarios simulate seconds of cluster time;
-# debug builds are gated off with #[ignore] to keep the tier under budget).
-cargo test --release -q -p ftgm-core --test chaos_smoke --test determinism
-cargo run -q -p ftgm-lint -- --deny-new --quiet
+# scenario set, the byte-identical-exports checks across thread counts,
+# and the 256-node scale-cell determinism check. All run in release (the
+# scenarios simulate seconds of cluster time; debug builds are gated off
+# with #[ignore] to keep the tier under budget).
+step chaos-determinism 900 cargo test --release -q -p ftgm-core \
+    --test chaos_smoke --test determinism
+step lint 120 cargo run -q -p ftgm-lint -- --deny-new --quiet
 # Recovery-under-load SLO sweep: produces the perf-trajectory file
 # BENCH_slo.json (plus results/slo_summary.json) on every green build
 # and exits non-zero on any SLO-oracle violation.
-cargo run --release -q -p ftgm-bench --bin slo
-# Schema sanity: the summary must carry the expected keys and stay
-# integer-valued (a float would mean platform-dependent serialization).
+step slo-bench 900 cargo run --release -q -p ftgm-bench --bin slo
+# Scale-bench smoke: the 8-node scheduler and world cells only, as a
+# differential gate (calendar queue vs heap oracle checksums, recovery
+# blackout bound). The full {8,64,256} sweep that rewrites
+# BENCH_scale.json is run manually: cargo run --release -p ftgm-bench
+# --bin scale.
+step scale-smoke 600 cargo run --release -q -p ftgm-bench --bin scale -- --smoke
+
+# Schema sanity: the committed summaries must carry the expected keys and
+# stay integer-valued (a float would mean platform-dependent
+# serialization). tests/determinism.rs checks the same and more; the
+# greps here keep the gate independent of the test harness itself.
 for key in '"schema": "ftgm-slo-v1"' '"cells"' '"steady_p50_ns"' \
     '"steady_p99_ns"' '"steady_p999_ns"' '"steady_goodput_bytes_per_sec"' \
     '"fault_blackout_ns"' '"recoveries"' '"violations"'; do
@@ -29,7 +65,22 @@ for key in '"schema": "ftgm-slo-v1"' '"cells"' '"steady_p50_ns"' \
         exit 1
     }
 done
-if grep -Eq ':[[:space:]]*-?[0-9]+\.' BENCH_slo.json; then
-    echo "BENCH_slo.json: non-integer numeric value found" >&2
-    exit 1
-fi
+for key in '"schema": "ftgm-scale-v1"' '"sched_cells"' '"world_cells"' \
+    '"cal_checksum"' '"heap_checksum"' '"checksums_match"' \
+    '"speedup_permille"' '"recovery_blackout_ns"' '"events_delivered"' \
+    '"violations": 0'; do
+    grep -q "$key" BENCH_scale.json || {
+        echo "BENCH_scale.json: missing required key $key" >&2
+        exit 1
+    }
+done
+for f in BENCH_slo.json BENCH_scale.json; do
+    if grep -Eq ':[[:space:]]*-?[0-9]+\.' "$f"; then
+        echo "$f: non-integer numeric value found" >&2
+        exit 1
+    fi
+done
+
+echo
+echo "ci steps by wall time (slowest first):"
+sort -rn "$REPORT"

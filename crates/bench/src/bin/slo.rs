@@ -154,7 +154,12 @@ fn flows(topology: ChaosTopology, load: &str) -> Vec<FlowSpec> {
                 sizes: open_sizes(load),
             },
         ],
-        ChaosTopology::Ring(_) => vec![
+        // The SLO sweep only builds ring cells of these shapes; the scale
+        // bench owns the fat-tree/torus flow sets, so those reuse the
+        // multi-hop ring mix here (nodes 0..8 exist in every such cell).
+        ChaosTopology::Ring(_)
+        | ChaosTopology::FatTree { .. }
+        | ChaosTopology::Torus { .. } => vec![
             FlowSpec {
                 src: 7,
                 src_port: 0,

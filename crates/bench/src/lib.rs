@@ -17,6 +17,8 @@
 //! | §5.2     | `effectiveness` | `ftgm_faults` with FTGM |
 //! | §4.2     | `watchdog_gap` | [`measure_ltimer_gaps`] |
 
+pub mod scale;
+
 use std::cell::RefCell;
 use std::rc::Rc;
 

@@ -42,6 +42,22 @@ pub enum ChaosTopology {
     Star(usize),
     /// `n` switches in a cycle, one host each.
     Ring(usize),
+    /// A two-level leaf/spine fat tree of `leaves * hosts_per_leaf` hosts.
+    FatTree {
+        /// Spine (top-level) switch count.
+        spines: usize,
+        /// Leaf switch count.
+        leaves: usize,
+        /// Hosts hanging off each leaf.
+        hosts_per_leaf: usize,
+    },
+    /// A 2-D torus of `cols × rows` switches, one host each.
+    Torus {
+        /// Columns (east-west extent).
+        cols: usize,
+        /// Rows (north-south extent).
+        rows: usize,
+    },
 }
 
 impl ChaosTopology {
@@ -52,6 +68,12 @@ impl ChaosTopology {
             ChaosTopology::TwoNode => World::two_node(config),
             ChaosTopology::Star(n) => World::star(n, config),
             ChaosTopology::Ring(n) => World::ring(n, config),
+            ChaosTopology::FatTree {
+                spines,
+                leaves,
+                hosts_per_leaf,
+            } => World::fat_tree(spines, leaves, hosts_per_leaf, config),
+            ChaosTopology::Torus { cols, rows } => World::torus(cols, rows, config),
         }
     }
 
@@ -61,6 +83,12 @@ impl ChaosTopology {
             ChaosTopology::TwoNode => 2,
             ChaosTopology::Star(n) => n,
             ChaosTopology::Ring(n) => n,
+            ChaosTopology::FatTree {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+            ChaosTopology::Torus { cols, rows } => cols * rows,
         }
     }
 }

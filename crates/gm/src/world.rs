@@ -353,9 +353,28 @@ impl World {
         World::new(Topology::ring(n), config)
     }
 
+    /// Convenience: a two-level fat tree (leaf/spine Clos) of
+    /// `leaves * hosts_per_leaf` hosts — the constant-diameter shape the
+    /// scale bench uses for its 8/64/256-node cells.
+    pub fn fat_tree(spines: usize, leaves: usize, hosts_per_leaf: usize, config: WorldConfig) -> World {
+        World::new(Topology::fat_tree(spines, leaves, hosts_per_leaf), config)
+    }
+
+    /// Convenience: a 2-D torus of `cols × rows` switches, one host each —
+    /// the high-diameter counterpoint to [`World::fat_tree`].
+    pub fn torus(cols: usize, rows: usize, config: WorldConfig) -> World {
+        World::new(Topology::torus(cols, rows), config)
+    }
+
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.sched.now()
+    }
+
+    /// Total number of scheduler events delivered so far (the scale
+    /// bench's denominator for events/sec).
+    pub fn events_delivered(&self) -> u64 {
+        self.sched.events_delivered()
     }
 
     /// The configuration the world was built with.

@@ -139,6 +139,12 @@ pub struct Fabric {
     link_up: Vec<bool>,
     faults: Option<LinkFaults>,
     stats: FabricStats,
+    /// Pooled per-packet scratch: the `(link, dir)` channel path of the
+    /// worm being walked. Taken and returned by `walk` so the hot path
+    /// allocates nothing once capacities warm up.
+    scratch_channels: Vec<(usize, usize)>,
+    /// Pooled per-packet scratch: head-start times per channel.
+    scratch_start: Vec<SimTime>,
 }
 
 /// Safety bound on route length (Myrinet routes are tiny; a loop is a bug).
@@ -156,6 +162,8 @@ impl Fabric {
             link_up: vec![true; links],
             faults: None,
             stats: FabricStats::default(),
+            scratch_channels: Vec::new(),
+            scratch_start: Vec::new(),
         }
     }
 
@@ -239,19 +247,19 @@ impl Fabric {
         result
     }
 
-    fn walk(
-        &mut self,
-        now: SimTime,
+    /// Resolves the `(link, dir)` channel path for a worm from `src`
+    /// following `route`, appending into the caller-supplied (pooled)
+    /// `channels` buffer.
+    fn resolve_path(
+        &self,
         src: NodeId,
         route: &[u8],
-        mut bytes: Vec<u8>,
-    ) -> Result<Delivery, DropReason> {
-        // --- resolve the channel path -----------------------------------
-        let mut channels: Vec<(usize, usize)> = Vec::new(); // (link, dir)
+        channels: &mut Vec<(usize, usize)>,
+    ) -> Result<NodeId, DropReason> {
         let mut at = Endpoint::Nic(src);
         let mut link = self.topo.nic_link(src).ok_or(DropReason::SourceNotCabled)?;
         let mut route_pos = 0;
-        let dst = loop {
+        loop {
             if channels.len() >= MAX_HOPS {
                 return Err(DropReason::TooManyHops);
             }
@@ -266,7 +274,7 @@ impl Fabric {
                     if route_pos != route.len() {
                         return Err(DropReason::RouteNotConsumed);
                     }
-                    break n;
+                    return Ok(n);
                 }
                 Endpoint::SwitchPort { switch, .. } => {
                     let Some(&out_port) = route.get(route_pos) else {
@@ -283,13 +291,37 @@ impl Fabric {
                     link = next;
                 }
             }
+        }
+    }
+
+    fn walk(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        route: &[u8],
+        mut bytes: Vec<u8>,
+    ) -> Result<Delivery, DropReason> {
+        // --- resolve the channel path -----------------------------------
+        // Borrow the pooled path buffers; they go back before any return
+        // so their capacity survives for the next packet.
+        let mut channels = std::mem::take(&mut self.scratch_channels);
+        channels.clear();
+        let resolved = self.resolve_path(src, route, &mut channels);
+        let dst = match resolved {
+            Ok(dst) => dst,
+            Err(e) => {
+                self.scratch_channels = channels;
+                return Err(e);
+            }
         };
 
         // --- wormhole timing ---------------------------------------------
         let ser = self.serialization_time(bytes.len());
         let prop = self.params.prop_delay;
         let n = channels.len();
-        let mut start = vec![SimTime::ZERO; n];
+        let mut start = std::mem::take(&mut self.scratch_start);
+        start.clear();
+        start.resize(n, SimTime::ZERO);
         for i in 0..n {
             let (l, d) = channels[i];
             let earliest = if i == 0 {
@@ -310,6 +342,8 @@ impl Fabric {
             self.free_at[l][d] = new_free;
         }
         let delivered_at = start[n - 1] + prop + ser;
+        self.scratch_channels = channels;
+        self.scratch_start = start;
 
         // --- fault model ----------------------------------------------------
         let mut crc_ok = true;

@@ -192,6 +192,8 @@ mod tests {
             Topology::two_nodes_one_switch(),
             Topology::star(5),
             Topology::switch_chain(3, 2),
+            Topology::fat_tree(2, 2, 4),
+            Topology::torus(3, 3),
         ] {
             let tables = Mapper::map(&topo);
             let mut fabric = Fabric::new(topo.clone(), FabricParams::default());

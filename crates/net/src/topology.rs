@@ -236,6 +236,120 @@ impl Topology {
         }
         b.build()
     }
+
+    /// Convenience: a two-level fat tree (leaf/spine Clos).
+    ///
+    /// `hosts_per_leaf` hosts hang off each of `leaves` leaf switches on
+    /// their low ports; every leaf uplinks to every one of `spines` spine
+    /// switches (leaf port `hosts_per_leaf + s` to spine `s` port `l`).
+    /// Every host pair is at most four channel hops apart regardless of
+    /// fabric size, and the spine layer gives the mapper `spines`
+    /// equal-length candidate routes — the shape the scale bench uses for
+    /// its 8/64/256-node cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, a switch would need more than 255
+    /// ports, or the host count would exceed `u16` node ids.
+    pub fn fat_tree(spines: usize, leaves: usize, hosts_per_leaf: usize) -> Topology {
+        assert!(
+            spines >= 1 && leaves >= 1 && hosts_per_leaf >= 1,
+            "fat_tree dimensions must be at least 1"
+        );
+        assert!(
+            hosts_per_leaf + spines <= 255,
+            "fat_tree leaf switch needs more than 255 ports"
+        );
+        assert!(leaves <= 255, "fat_tree spine switch needs more than 255 ports");
+        let hosts = leaves * hosts_per_leaf;
+        assert!(hosts <= u16::MAX as usize, "fat_tree host count exceeds u16");
+        let mut b = Topology::builder();
+        b.add_nodes(hosts);
+        let leaf_sws: Vec<SwitchId> = (0..leaves)
+            .map(|_| b.add_switch((hosts_per_leaf + spines) as u8))
+            .collect();
+        let spine_sws: Vec<SwitchId> = (0..spines)
+            .map(|_| b.add_switch(leaves as u8))
+            .collect();
+        for (l, &leaf) in leaf_sws.iter().enumerate() {
+            for h in 0..hosts_per_leaf {
+                b.connect(
+                    Endpoint::Nic(NodeId((l * hosts_per_leaf + h) as u16)),
+                    Endpoint::SwitchPort {
+                        switch: leaf,
+                        port: h as u8,
+                    },
+                );
+            }
+            for (s, &spine) in spine_sws.iter().enumerate() {
+                b.connect(
+                    Endpoint::SwitchPort {
+                        switch: leaf,
+                        port: (hosts_per_leaf + s) as u8,
+                    },
+                    Endpoint::SwitchPort {
+                        switch: spine,
+                        port: l as u8,
+                    },
+                );
+            }
+        }
+        b.build()
+    }
+
+    /// Convenience: a 2-D torus of `cols × rows` switches, one host each.
+    ///
+    /// Each switch carries its host on port 0 and meshes with its four
+    /// neighbours with wrap-around: port 1 east to the neighbour's port 2,
+    /// port 3 north to the neighbour's port 4. Routes grow with Manhattan
+    /// distance (up to `cols/2 + rows/2` switch hops), making this the
+    /// high-diameter counterpoint to [`Topology::fat_tree`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2 or the host count would
+    /// exceed `u16` node ids.
+    pub fn torus(cols: usize, rows: usize) -> Topology {
+        assert!(cols >= 2 && rows >= 2, "torus needs both dimensions >= 2");
+        let hosts = cols * rows;
+        assert!(hosts <= u16::MAX as usize, "torus host count exceeds u16");
+        let mut b = Topology::builder();
+        b.add_nodes(hosts);
+        let sws: Vec<SwitchId> = (0..hosts).map(|_| b.add_switch(5)).collect();
+        let at = |x: usize, y: usize| sws[y * cols + x];
+        for y in 0..rows {
+            for x in 0..cols {
+                b.connect(
+                    Endpoint::Nic(NodeId((y * cols + x) as u16)),
+                    Endpoint::SwitchPort {
+                        switch: at(x, y),
+                        port: 0,
+                    },
+                );
+                b.connect(
+                    Endpoint::SwitchPort {
+                        switch: at(x, y),
+                        port: 1,
+                    },
+                    Endpoint::SwitchPort {
+                        switch: at((x + 1) % cols, y),
+                        port: 2,
+                    },
+                );
+                b.connect(
+                    Endpoint::SwitchPort {
+                        switch: at(x, y),
+                        port: 3,
+                    },
+                    Endpoint::SwitchPort {
+                        switch: at(x, (y + 1) % rows),
+                        port: 4,
+                    },
+                );
+            }
+        }
+        b.build()
+    }
 }
 
 /// Incrementally assembles a [`Topology`].
@@ -374,6 +488,64 @@ mod tests {
         let t = Topology::two_nodes_one_switch();
         let l = t.nic_link(NodeId(0)).unwrap();
         t.peer(l, Endpoint::Nic(NodeId(1)));
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        // The scale bench's 256-node cell: 8 spines, 16 leaves, 16 hosts/leaf.
+        let t = Topology::fat_tree(8, 16, 16);
+        assert_eq!(t.node_count(), 256);
+        assert_eq!(t.switch_count(), 16 + 8);
+        // 256 host links + 16*8 leaf-spine uplinks.
+        assert_eq!(t.links().len(), 256 + 128);
+        for n in 0..256 {
+            assert!(t.nic_link(NodeId(n)).is_some(), "host {n} cabled");
+        }
+        // Leaf 0 uplink to spine 3 sits on port hosts_per_leaf + 3.
+        assert!(t.switch_port_link(SwitchId(0), 16 + 3).is_some());
+        // Spine 0 has one downlink per leaf and nothing else.
+        assert_eq!(t.switch_port_count(SwitchId(16)), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "255 ports")]
+    fn fat_tree_rejects_oversized_leaf() {
+        Topology::fat_tree(200, 2, 200);
+    }
+
+    #[test]
+    fn torus_shape_and_wraparound() {
+        let t = Topology::torus(4, 4);
+        assert_eq!(t.node_count(), 16);
+        assert_eq!(t.switch_count(), 16);
+        // One host link plus two mesh links (east, north) per switch.
+        assert_eq!(t.links().len(), 16 * 3);
+        // East of the last column wraps to column 0: switch 3's port 1
+        // must land on switch 0's port 2.
+        let l = t.switch_port_link(SwitchId(3), 1).unwrap();
+        let far = t.peer(
+            l,
+            Endpoint::SwitchPort {
+                switch: SwitchId(3),
+                port: 1,
+            },
+        );
+        assert_eq!(
+            far,
+            Endpoint::SwitchPort {
+                switch: SwitchId(0),
+                port: 2
+            }
+        );
+    }
+
+    #[test]
+    fn minimal_torus_is_buildable() {
+        // cols == 2 produces parallel links between neighbour pairs; the
+        // builder must accept them (distinct ports on both sides).
+        let t = Topology::torus(2, 2);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.links().len(), 4 * 3);
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub mod trace;
 
 pub use metrics::{HistId, Histogram, Metrics, Samples};
 pub use rng::SimRng;
-pub use sched::{EventId, Scheduler};
+pub use sched::{EventId, HeapScheduler, Scheduler};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DmaDir, RecoveryPhase, Trace, TraceEvent, TraceKind, TraceMode};

@@ -1,9 +1,25 @@
 //! The deterministic event scheduler.
 //!
-//! A binary min-heap ordered by `(time, sequence)`: two events scheduled for
-//! the same instant pop in the order they were scheduled, which makes whole
-//! simulations replayable. Cancellation is supported through [`EventId`]
-//! tombstones, which timer re-arming (the watchdog path) relies on.
+//! [`Scheduler`] is a calendar queue (Brown, CACM 1988): events hash into
+//! time-windowed buckets of width `2^shift` nanoseconds, each bucket kept
+//! sorted so its earliest entry is at the back. Popping scans bucket
+//! windows forward from the clock; the first entry whose timestamp falls
+//! inside its bucket's current window is the global minimum. Bucket count
+//! and width adapt to the live population, so `schedule`/`pop`/`cancel`
+//! are amortized O(1) instead of the O(log n) heap plus O(log n)
+//! tombstone-set bookkeeping the previous implementation paid per event.
+//!
+//! Ordering is by `(time, sequence)`: two events scheduled for the same
+//! instant pop in the order they were scheduled, which makes whole
+//! simulations replayable. Cancellation is O(1) through a slot map with
+//! generation counters ([`EventId`] packs a slot index and a generation);
+//! timer re-arming (the watchdog path) relies on it.
+//!
+//! [`HeapScheduler`] preserves the original binary-heap implementation
+//! verbatim. It is kept as the *differential-test oracle*: the
+//! `sched_equivalence` suite drives randomized push/pop/cancel workloads
+//! through both implementations and asserts identical pop order, and the
+//! `scale` bench uses it as the performance baseline.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -11,37 +27,42 @@ use std::collections::{BTreeSet, BinaryHeap};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
+///
+/// For the calendar queue this packs `(slot, generation)`; for the heap
+/// oracle it wraps the event sequence number. Either way the value is
+/// opaque and only meaningful to the scheduler that issued it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn pack(slot: u32, gen: u32) -> EventId {
+        EventId((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    fn unpack(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
+    }
+}
 
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
+    gen: u32,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap (a max-heap) pops the earliest entry.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// Smallest bucket count the calendar shrinks down to.
+const MIN_BUCKETS: usize = 4;
+/// Largest bucket count the calendar grows up to (2^20 buckets).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Largest bucket-width exponent (widths beyond 2^62 ns are pointless).
+const MAX_SHIFT: u32 = 62;
+/// Initial bucket-width exponent: 2^10 ns ≈ 1 µs, the ballpark of NIC
+/// event spacing before the first adaptive resize.
+const INITIAL_SHIFT: u32 = 10;
 
-/// A deterministic discrete-event queue.
+/// A deterministic discrete-event queue (calendar queue).
 ///
 /// The scheduler owns the simulation clock: [`Scheduler::pop`] advances
 /// `now()` to the popped event's timestamp. Scheduling in the past is a
@@ -62,11 +83,21 @@ impl<E> Ord for Entry<E> {
 pub struct Scheduler<E> {
     now: SimTime,
     next_event_seq: u64,
-    heap: BinaryHeap<Entry<E>>,
-    /// Sequence numbers of scheduled-but-not-yet-fired, not-cancelled
-    /// events. A `BTreeSet` keeps the scheduler free of hash-iteration
-    /// order even though `live` is only probed for membership.
-    live: BTreeSet<u64>,
+    /// Buckets sorted descending by `(at, seq)`: the bucket's earliest
+    /// entry is at the back, so popping it is O(1).
+    buckets: Vec<Vec<Entry<E>>>,
+    /// `buckets.len() - 1`; the bucket count is always a power of two.
+    mask: usize,
+    /// Bucket width is `2^shift` nanoseconds.
+    shift: u32,
+    /// Generation counter per slot. An entry is live iff its stored
+    /// generation matches its slot's current generation.
+    slot_gens: Vec<u32>,
+    free_slots: Vec<u32>,
+    /// Live (scheduled, not fired, not cancelled) entries.
+    live: usize,
+    /// Cancelled entries still physically present in some bucket.
+    dead: usize,
     popped: u64,
 }
 
@@ -80,6 +111,313 @@ impl<E> Scheduler<E> {
     /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         Scheduler {
+            now: SimTime::ZERO,
+            next_event_seq: 0,
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            shift: INITIAL_SHIFT,
+            slot_gens: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
+            dead: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.popped
+    }
+
+    fn bucket_of(&self, at: SimTime) -> usize {
+        ((at.as_nanos() >> self.shift) as usize) & self.mask
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than `now()`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_event_seq;
+        self.next_event_seq += 1;
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.slot_gens.push(0);
+                (self.slot_gens.len() - 1) as u32
+            }
+        };
+        let gen = self.slot_gens[slot as usize];
+        let idx = self.bucket_of(at);
+        let bucket = &mut self.buckets[idx];
+        // Keep the bucket sorted descending by (at, seq): everything
+        // strictly greater than the new entry stays in front of it.
+        let pos = bucket.partition_point(|e| (e.at, e.seq) > (at, seq));
+        bucket.insert(
+            pos,
+            Entry {
+                at,
+                seq,
+                slot,
+                gen,
+                event,
+            },
+        );
+        self.live += 1;
+        if self.live > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.resize();
+        }
+        EventId::pack(slot, gen)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event had not yet
+    /// fired or been cancelled. Cancelling an already-fired event is a no-op.
+    ///
+    /// O(1): the entry stays in its bucket as a tombstone (detected by
+    /// generation mismatch) until it is swept during a pop or resize.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let (slot, gen) = id.unpack();
+        match self.slot_gens.get_mut(slot as usize) {
+            Some(cur) if *cur == gen => {
+                *cur = cur.wrapping_add(1);
+                self.live -= 1;
+                self.dead += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pops dead (cancelled) entries off the back of bucket `idx`,
+    /// recycling their slots, so the back entry — if any — is live.
+    fn clean_back(&mut self, idx: usize) {
+        while let Some(e) = self.buckets[idx].last() {
+            if self.slot_gens[e.slot as usize] == e.gen {
+                break;
+            }
+            let slot = e.slot;
+            self.buckets[idx].pop();
+            self.free_slots.push(slot);
+            self.dead -= 1;
+        }
+    }
+
+    /// Finds the bucket whose back entry is the global minimum.
+    ///
+    /// Scans bucket windows forward from `now`: within one calendar
+    /// rotation each window maps to exactly one bucket, so the first back
+    /// entry found inside its own window is the earliest live event. If a
+    /// whole rotation turns up nothing (every event is beyond one rotation),
+    /// falls back to a direct min-scan over all bucket minima.
+    fn locate_min(&mut self) -> Option<usize> {
+        if self.live == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len() as u64;
+        let base = self.now.as_nanos() >> self.shift;
+        for k in 0..nbuckets {
+            let window = base.saturating_add(k);
+            let idx = (window as usize) & self.mask;
+            self.clean_back(idx);
+            if let Some(e) = self.buckets[idx].last() {
+                if e.at.as_nanos() >> self.shift == window {
+                    return Some(idx);
+                }
+            }
+        }
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for idx in 0..self.buckets.len() {
+            self.clean_back(idx);
+            if let Some(e) = self.buckets[idx].last() {
+                if best.is_none_or(|(at, seq, _)| (e.at, e.seq) < (at, seq)) {
+                    best = Some((e.at, e.seq, idx));
+                }
+            }
+        }
+        best.map(|(_, _, idx)| idx)
+    }
+
+    /// Removes and returns the next live event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let idx = self.locate_min()?;
+        let e = self.buckets[idx].pop()?;
+        // Retire the slot: bump the generation so a stale cancel of this
+        // id reports false, then recycle it.
+        let gen = &mut self.slot_gens[e.slot as usize];
+        *gen = gen.wrapping_add(1);
+        self.free_slots.push(e.slot);
+        self.live -= 1;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        self.popped += 1;
+        let nbuckets = self.buckets.len();
+        if (self.live < nbuckets / 4 && nbuckets > MIN_BUCKETS)
+            || self.dead > 2 * self.live + 64
+        {
+            self.resize();
+        }
+        Some((e.at, e.event))
+    }
+
+    /// Timestamp of the next live event without popping it.
+    ///
+    /// Takes `&mut self` because locating the minimum sweeps cancelled
+    /// entries off bucket backs.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let idx = self.locate_min()?;
+        self.buckets[idx].last().map(|e| e.at)
+    }
+
+    /// `true` when no live events remain.
+    ///
+    /// Takes `&mut self` for parity with [`Scheduler::peek_time`].
+    #[allow(clippy::len_without_is_empty, clippy::wrong_self_convention)]
+    pub fn is_empty(&mut self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of live (pending, not cancelled) events.
+    #[allow(clippy::len_without_is_empty)] // is_empty exists, but needs &mut
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Rebuilds the calendar for the current live population: drops
+    /// tombstones, recomputes the bucket count (≈ one live event per
+    /// bucket) and the bucket width (≈ the mean gap between now and the
+    /// farthest event, so one rotation covers the whole horizon).
+    fn resize(&mut self) {
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.live);
+        {
+            let slot_gens = &self.slot_gens;
+            let free_slots = &mut self.free_slots;
+            for bucket in &mut self.buckets {
+                for e in bucket.drain(..) {
+                    if slot_gens[e.slot as usize] == e.gen {
+                        all.push(e);
+                    } else {
+                        free_slots.push(e.slot);
+                    }
+                }
+            }
+        }
+        self.dead = 0;
+        debug_assert_eq!(all.len(), self.live);
+
+        let nbuckets = all
+            .len()
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let span = all
+            .iter()
+            .map(|e| e.at.as_nanos())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(self.now.as_nanos());
+        let width = (span / all.len().max(1) as u64).max(1);
+        // floor(log2(width)), so a rotation of nbuckets windows spans
+        // roughly the whole live horizon.
+        self.shift = (63 - width.leading_zeros()).min(MAX_SHIFT);
+        self.mask = nbuckets - 1;
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        // Descending insertion order keeps every bucket sorted descending.
+        all.sort_by(|a, b| (b.at, b.seq).cmp(&(a.at, a.seq)));
+        for e in all {
+            let idx = ((e.at.as_nanos() >> self.shift) as usize) & self.mask;
+            self.buckets[idx].push(e);
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("buckets", &self.buckets.len())
+            .field("width_ns", &(1u64 << self.shift))
+            .field("live", &self.live)
+            .field("dead", &self.dead)
+            .field("delivered", &self.popped)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The legacy binary-heap scheduler, kept verbatim as the test oracle.
+// ---------------------------------------------------------------------------
+
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest entry.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The original binary-heap scheduler, retained as the differential-test
+/// oracle and the performance baseline for the calendar queue.
+///
+/// Semantics are identical to [`Scheduler`] — `(time, sequence)` ordering,
+/// past-scheduling panics, tombstone cancellation — and the
+/// `sched_equivalence` suite holds the two to identical pop order under
+/// randomized workloads. Not used in production worlds.
+pub struct HeapScheduler<E> {
+    now: SimTime,
+    next_event_seq: u64,
+    heap: BinaryHeap<HeapEntry<E>>,
+    /// Sequence numbers of scheduled-but-not-yet-fired, not-cancelled
+    /// events. A `BTreeSet` keeps the scheduler free of hash-iteration
+    /// order even though `live` is only probed for membership.
+    live: BTreeSet<u64>,
+    popped: u64,
+}
+
+impl<E> Default for HeapScheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapScheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        HeapScheduler {
             now: SimTime::ZERO,
             next_event_seq: 0,
             heap: BinaryHeap::new(),
@@ -112,7 +450,7 @@ impl<E> Scheduler<E> {
         let seq = self.next_event_seq;
         self.next_event_seq += 1;
         self.live.insert(seq);
-        self.heap.push(Entry { at, seq, event });
+        self.heap.push(HeapEntry { at, seq, event });
         EventId(seq)
     }
 
@@ -170,9 +508,9 @@ impl<E> Scheduler<E> {
     }
 }
 
-impl<E> std::fmt::Debug for Scheduler<E> {
+impl<E> std::fmt::Debug for HeapScheduler<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scheduler")
+        f.debug_struct("HeapScheduler")
             .field("now", &self.now)
             .field("pending", &self.heap.len())
             .field("live", &self.live.len())
@@ -185,89 +523,168 @@ impl<E> std::fmt::Debug for Scheduler<E> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut s: Scheduler<&str> = Scheduler::new();
-        s.schedule_at(SimTime::from_nanos(30), "c");
-        s.schedule_at(SimTime::from_nanos(10), "a");
-        s.schedule_at(SimTime::from_nanos(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+    /// Instantiates the behavioral contract tests for both scheduler
+    /// implementations, so the oracle can never drift from the calendar.
+    macro_rules! scheduler_contract_tests {
+        ($mod_name:ident, $sched:ident) => {
+            mod $mod_name {
+                use super::super::*;
+
+                #[test]
+                fn pops_in_time_order() {
+                    let mut s: $sched<&str> = $sched::new();
+                    s.schedule_at(SimTime::from_nanos(30), "c");
+                    s.schedule_at(SimTime::from_nanos(10), "a");
+                    s.schedule_at(SimTime::from_nanos(20), "b");
+                    let order: Vec<_> =
+                        std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+                    assert_eq!(order, vec!["a", "b", "c"]);
+                }
+
+                #[test]
+                fn ties_break_fifo() {
+                    let mut s: $sched<u32> = $sched::new();
+                    for i in 0..10 {
+                        s.schedule_at(SimTime::from_nanos(5), i);
+                    }
+                    let order: Vec<_> =
+                        std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+                    assert_eq!(order, (0..10).collect::<Vec<_>>());
+                }
+
+                #[test]
+                fn clock_advances_on_pop() {
+                    let mut s: $sched<()> = $sched::new();
+                    s.schedule_at(SimTime::from_nanos(42), ());
+                    assert_eq!(s.now(), SimTime::ZERO);
+                    s.pop();
+                    assert_eq!(s.now(), SimTime::from_nanos(42));
+                }
+
+                #[test]
+                #[should_panic(expected = "past")]
+                fn scheduling_in_the_past_panics() {
+                    let mut s: $sched<()> = $sched::new();
+                    s.schedule_at(SimTime::from_nanos(10), ());
+                    s.pop();
+                    s.schedule_at(SimTime::from_nanos(5), ());
+                }
+
+                #[test]
+                fn cancel_prevents_delivery() {
+                    let mut s: $sched<u32> = $sched::new();
+                    let id = s.schedule_at(SimTime::from_nanos(1), 1);
+                    s.schedule_at(SimTime::from_nanos(2), 2);
+                    assert!(s.cancel(id));
+                    assert!(!s.cancel(id), "double cancel reports false");
+                    assert_eq!(s.pop().map(|(_, e)| e), Some(2));
+                }
+
+                #[test]
+                fn cancel_after_fire_is_noop() {
+                    let mut s: $sched<u32> = $sched::new();
+                    let id = s.schedule_at(SimTime::from_nanos(1), 1);
+                    assert_eq!(s.pop().map(|(_, e)| e), Some(1));
+                    assert!(!s.cancel(id));
+                }
+
+                #[test]
+                fn peek_skips_cancelled() {
+                    let mut s: $sched<u32> = $sched::new();
+                    let id = s.schedule_at(SimTime::from_nanos(1), 1);
+                    s.schedule_at(SimTime::from_nanos(7), 2);
+                    s.cancel(id);
+                    assert_eq!(s.peek_time(), Some(SimTime::from_nanos(7)));
+                    assert_eq!(s.len(), 1);
+                }
+
+                #[test]
+                fn schedule_in_is_relative_to_now() {
+                    let mut s: $sched<u32> = $sched::new();
+                    s.schedule_at(SimTime::from_nanos(100), 1);
+                    s.pop();
+                    s.schedule_in(SimDuration::from_nanos(50), 2);
+                    assert_eq!(s.pop(), Some((SimTime::from_nanos(150), 2)));
+                }
+
+                #[test]
+                fn empty_and_counters() {
+                    let mut s: $sched<u32> = $sched::new();
+                    assert!(s.is_empty());
+                    s.schedule_in(SimDuration::ZERO, 9);
+                    assert!(!s.is_empty());
+                    s.pop();
+                    assert!(s.is_empty());
+                    assert_eq!(s.events_delivered(), 1);
+                }
+            }
+        };
     }
 
+    scheduler_contract_tests!(calendar, Scheduler);
+    scheduler_contract_tests!(heap_oracle, HeapScheduler);
+
     #[test]
-    fn ties_break_fifo() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        for i in 0..10 {
-            s.schedule_at(SimTime::from_nanos(5), i);
+    fn survives_growth_and_shrink_resizes() {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        // Push well past several doublings, then drain — exercises both
+        // the grow and shrink paths while order must stay intact.
+        for i in 0..1_000 {
+            s.schedule_at(SimTime::from_nanos((i as u64 * 37) % 911), i);
         }
-        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        while let Some((at, _)) = s.pop() {
+            assert!(at >= last.0);
+            last = (at, last.1);
+            n += 1;
+        }
+        assert_eq!(n, 1_000);
+        assert_eq!(s.events_delivered(), 1_000);
     }
 
     #[test]
-    fn clock_advances_on_pop() {
-        let mut s: Scheduler<()> = Scheduler::new();
-        s.schedule_at(SimTime::from_nanos(42), ());
-        assert_eq!(s.now(), SimTime::ZERO);
-        s.pop();
-        assert_eq!(s.now(), SimTime::from_nanos(42));
-    }
-
-    #[test]
-    #[should_panic(expected = "past")]
-    fn scheduling_in_the_past_panics() {
-        let mut s: Scheduler<()> = Scheduler::new();
-        s.schedule_at(SimTime::from_nanos(10), ());
-        s.pop();
-        s.schedule_at(SimTime::from_nanos(5), ());
-    }
-
-    #[test]
-    fn cancel_prevents_delivery() {
+    fn far_future_events_use_the_fallback_scan() {
         let mut s: Scheduler<u32> = Scheduler::new();
-        let id = s.schedule_at(SimTime::from_nanos(1), 1);
-        s.schedule_at(SimTime::from_nanos(2), 2);
-        assert!(s.cancel(id));
-        assert!(!s.cancel(id), "double cancel reports false");
+        // Far beyond one rotation of the initial 4×1µs calendar.
+        s.schedule_at(SimTime::from_nanos(50_000_000_000), 2);
+        s.schedule_at(SimTime::from_nanos(1_000_000_000), 1);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(1_000_000_000)));
+        assert_eq!(s.pop().map(|(_, e)| e), Some(1));
         assert_eq!(s.pop().map(|(_, e)| e), Some(2));
     }
 
     #[test]
-    fn cancel_after_fire_is_noop() {
+    fn max_deadline_is_representable() {
         let mut s: Scheduler<u32> = Scheduler::new();
-        let id = s.schedule_at(SimTime::from_nanos(1), 1);
+        s.schedule_at(SimTime::MAX, 9);
+        s.schedule_at(SimTime::from_nanos(5), 1);
         assert_eq!(s.pop().map(|(_, e)| e), Some(1));
-        assert!(!s.cancel(id));
+        assert_eq!(s.pop(), Some((SimTime::MAX, 9)));
     }
 
     #[test]
-    fn peek_skips_cancelled() {
+    fn slot_reuse_does_not_resurrect_stale_ids() {
         let mut s: Scheduler<u32> = Scheduler::new();
-        let id = s.schedule_at(SimTime::from_nanos(1), 1);
-        s.schedule_at(SimTime::from_nanos(7), 2);
-        s.cancel(id);
-        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(7)));
+        let a = s.schedule_at(SimTime::from_nanos(1), 1);
+        assert_eq!(s.pop().map(|(_, e)| e), Some(1));
+        // The slot is recycled for b; the stale id must not cancel it.
+        let _b = s.schedule_at(SimTime::from_nanos(2), 2);
+        assert!(!s.cancel(a));
+        assert_eq!(s.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn mass_cancellation_triggers_tombstone_purge() {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        let ids: Vec<EventId> = (0..500)
+            .map(|i| s.schedule_at(SimTime::from_nanos(1 + i as u64), i))
+            .collect();
+        for id in ids.iter().take(499) {
+            assert!(s.cancel(*id));
+        }
         assert_eq!(s.len(), 1);
-    }
-
-    #[test]
-    fn schedule_in_is_relative_to_now() {
-        let mut s: Scheduler<u32> = Scheduler::new();
-        s.schedule_at(SimTime::from_nanos(100), 1);
-        s.pop();
-        s.schedule_in(SimDuration::from_nanos(50), 2);
-        assert_eq!(s.pop(), Some((SimTime::from_nanos(150), 2)));
-    }
-
-    #[test]
-    fn empty_and_counters() {
-        let mut s: Scheduler<u32> = Scheduler::new();
+        assert_eq!(s.pop().map(|(_, e)| e), Some(499));
         assert!(s.is_empty());
-        s.schedule_in(SimDuration::ZERO, 9);
-        assert!(!s.is_empty());
-        s.pop();
-        assert!(s.is_empty());
-        assert_eq!(s.events_delivered(), 1);
     }
 }

@@ -41,6 +41,12 @@ pub fn topology_label(t: ChaosTopology) -> String {
         ChaosTopology::TwoNode => "two_node".to_string(),
         ChaosTopology::Star(n) => format!("star{n}"),
         ChaosTopology::Ring(n) => format!("ring{n}"),
+        ChaosTopology::FatTree {
+            leaves,
+            hosts_per_leaf,
+            ..
+        } => format!("fat_tree{}", leaves * hosts_per_leaf),
+        ChaosTopology::Torus { cols, rows } => format!("torus{cols}x{rows}"),
     }
 }
 

@@ -7,9 +7,164 @@
 //! Release-gated (like `chaos_smoke`): the standard scenario set simulates
 //! tens of seconds of fabric time per scenario.
 
+use ftgm_bench::scale::{
+    run_sched_cell, run_world_cell, scale_spec, sched_cells, summary_json, world_cells,
+};
 use ftgm_faults::campaign::run_scenarios_parallel;
 use ftgm_faults::chaos::standard_scenarios;
 use ftgm_workload::{demo_suite, reports_to_json, run_suite_parallel};
+
+/// Asserts a golden benchmark artifact is integer-only: after stripping
+/// string literals, no `.`, `e`, or `E` may remain — floats (and their
+/// platform-dependent formatting) are banned from committed JSON.
+fn assert_integer_only_json(name: &str, json: &str) {
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '.' | 'e' | 'E' => panic!("{name}: non-integer numeric literal (saw {c:?})"),
+            _ => assert!(
+                c.is_ascii_digit() || c.is_ascii_whitespace() || "{}[],:-".contains(c),
+                "{name}: unexpected character {c:?} outside a string"
+            ),
+        }
+    }
+    assert!(!in_string, "{name}: unterminated string");
+}
+
+/// Asserts every `keys` entry appears as a JSON object key in `json`.
+fn assert_has_keys(name: &str, json: &str, keys: &[&str]) {
+    for k in keys {
+        assert!(
+            json.contains(&format!("\"{k}\"")),
+            "{name}: missing required key {k:?}"
+        );
+    }
+}
+
+/// Reads a benchmark artifact from the repository root.
+fn read_artifact(file: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../").to_string() + file;
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{file} must be committed at the repo root: {e}"))
+}
+
+/// Golden schema for `BENCH_scale.json` (written by
+/// `cargo run --release -p ftgm-bench --bin scale`): all required keys
+/// present, integers only, and the deterministic sched8 checksum agrees
+/// with an in-process replay — so the committed artifact cannot drift
+/// silently ahead of (or behind) the code.
+#[test]
+fn bench_scale_json_matches_golden_schema() {
+    let json = read_artifact("BENCH_scale.json");
+    assert_integer_only_json("BENCH_scale.json", &json);
+    assert_has_keys(
+        "BENCH_scale.json",
+        &json,
+        &[
+            "schema", "seed", "violations", "sched_cells", "label", "nodes", "population",
+            "ops", "pops", "cal_checksum", "heap_checksum", "checksums_match",
+            "heap_wall_ns", "cal_wall_ns", "heap_events_per_sec", "cal_events_per_sec",
+            "speedup_permille", "world_cells", "topology", "fault", "events_delivered",
+            "total_issued", "total_completed", "steady_p99_ns", "recovery_blackout_ns",
+            "recoveries",
+        ],
+    );
+    assert!(json.contains("\"schema\": \"ftgm-scale-v1\""));
+    assert!(
+        json.contains("\"violations\": 0"),
+        "a BENCH_scale.json with violations must never be committed"
+    );
+}
+
+/// Golden schema for `BENCH_slo.json` (written by the `slo` bin).
+#[test]
+fn bench_slo_json_matches_golden_schema() {
+    let json = read_artifact("BENCH_slo.json");
+    assert_integer_only_json("BENCH_slo.json", &json);
+    assert_has_keys(
+        "BENCH_slo.json",
+        &json,
+        &[
+            "schema", "seed", "violations", "cells", "name", "topology", "load", "fault",
+            "variant", "steady_p50_ns", "steady_p99_ns", "steady_p999_ns",
+            "steady_goodput_bytes_per_sec", "steady_completed_permille",
+            "fault_blackout_ns", "fault_completed", "recoveries", "total_issued",
+            "total_completed",
+        ],
+    );
+    assert!(json.contains("\"schema\": \"ftgm-slo-v1\""));
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: replays the smoke scale cells twice (ci.sh runs this with --release)"
+)]
+fn scale_deterministic_summary_is_byte_identical_across_runs() {
+    let run = || {
+        let sched: Vec<_> = sched_cells(true)
+            .iter()
+            .map(|c| run_sched_cell(c, 2003))
+            .collect();
+        let worlds: Vec<_> = world_cells(true)
+            .iter()
+            .map(|c| run_world_cell(c, 2003))
+            .collect();
+        summary_json(2003, &sched, &worlds, 0, false)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "deterministic scale summary diverged");
+    assert_integer_only_json("scale summary", &first);
+    // Wall-clock numbers are machine noise and must not leak into the
+    // deterministic rendering.
+    assert!(!first.contains("wall_ns"), "measured field in deterministic JSON");
+    assert!(!first.contains("events_per_sec"), "measured field in deterministic JSON");
+
+    // The committed artifact's deterministic core must match this very
+    // build: same sched8 checksum, same event count — regenerate
+    // BENCH_scale.json whenever the simulator's event flow changes.
+    let committed = read_artifact("BENCH_scale.json");
+    let sched8 = run_sched_cell(&sched_cells(true)[0], 2003);
+    let needle = format!("\"cal_checksum\": {}", sched8.cal_checksum);
+    assert!(
+        committed.contains(&needle),
+        "committed BENCH_scale.json is stale: expected {needle}; re-run the scale bin"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: 256-node fabrics simulate seconds of fabric time (ci.sh runs this with --release)"
+)]
+fn scale_world_reports_are_byte_identical_across_thread_counts() {
+    // The tentpole cells themselves: the 256-host fat-tree, steady and
+    // with a scripted mid-run hang, must report byte-identically whether
+    // the suite fans out over one worker thread or three.
+    let specs: Vec<_> = world_cells(false)
+        .iter()
+        .filter(|c| c.nodes == 256)
+        .map(|c| scale_spec(c, 2003))
+        .collect();
+    assert_eq!(specs.len(), 2, "steady and hang cells expected");
+    let single = reports_to_json(&run_suite_parallel(&specs, 1));
+    let multi = reports_to_json(&run_suite_parallel(&specs, 3));
+    assert!(!single.is_empty());
+    assert_eq!(single, multi, "thread count leaked into 256-node reports");
+}
 
 #[test]
 #[cfg_attr(

@@ -103,6 +103,44 @@ proptest! {
     }
 }
 
+/// Shared body of the world-level Go-Back-N exactly-once property, so
+/// the random property and the pinned regression cases below exercise
+/// the very same assertions.
+fn assert_gobackn_exactly_once(drop: f64, corrupt: f64, seed: u64, ftgm: bool) {
+    let config = if ftgm { WorldConfig::ftgm() } else { WorldConfig::gm() };
+    let mut w = World::two_node(config);
+    w.fabric.set_faults(Some(LinkFaults {
+        drop_prob: drop,
+        corrupt_prob: corrupt,
+        rng: SimRng::new(seed),
+    }));
+    let stats = Rc::new(RefCell::new(TrafficStats::default()));
+    w.spawn_app(
+        NodeId(1),
+        2,
+        Box::new(PatternReceiver::new(512, 16, stats.clone())),
+    );
+    w.spawn_app(
+        NodeId(0),
+        0,
+        Box::new(PatternSender::new(NodeId(1), 2, 256, 4, Some(60), stats.clone())),
+    );
+    w.run_for(SimDuration::from_secs(8));
+    let s = stats.borrow();
+    assert_eq!(s.received_ok, 60, "delivered: {s:?}");
+    assert_eq!(s.completed, 60, "completed: {s:?}");
+    assert!(s.clean(), "violations: {s:?}");
+}
+
+/// Promoted from `properties.proptest-regressions` (case
+/// `964d2696c2ed8c…`): a plain-GM run with ~15 % drop once tripped the
+/// exactly-once assertions. Keeping it as a named test means it runs on
+/// every `cargo test`, not only when the regression file is honored.
+#[test]
+fn gobackn_regression_gm_heavy_drop_case_964d2696() {
+    assert_gobackn_exactly_once(0.1511047623685776, 0.0, 1839267741648814390, false);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -116,29 +154,7 @@ proptest! {
         seed in any::<u64>(),
         ftgm in any::<bool>(),
     ) {
-        let config = if ftgm { WorldConfig::ftgm() } else { WorldConfig::gm() };
-        let mut w = World::two_node(config);
-        w.fabric.set_faults(Some(LinkFaults {
-            drop_prob: drop,
-            corrupt_prob: corrupt,
-            rng: SimRng::new(seed),
-        }));
-        let stats = Rc::new(RefCell::new(TrafficStats::default()));
-        w.spawn_app(
-            NodeId(1),
-            2,
-            Box::new(PatternReceiver::new(512, 16, stats.clone())),
-        );
-        w.spawn_app(
-            NodeId(0),
-            0,
-            Box::new(PatternSender::new(NodeId(1), 2, 256, 4, Some(60), stats.clone())),
-        );
-        w.run_for(SimDuration::from_secs(8));
-        let s = stats.borrow();
-        prop_assert_eq!(s.received_ok, 60, "delivered: {:?}", s);
-        prop_assert_eq!(s.completed, 60, "completed: {:?}", s);
-        prop_assert!(s.clean(), "violations: {:?}", s);
+        assert_gobackn_exactly_once(drop, corrupt, seed, ftgm);
     }
 
     /// FTGM's host backup always mirrors the tokens the LANai holds: at
@@ -183,6 +199,202 @@ proptest! {
         // The receiver's ACK table knows the final message's sequence.
         let hp1 = w.nodes[1].ports[2].as_ref().unwrap();
         prop_assert_eq!(hp1.backup.expected_seqs().len(), 1);
+    }
+}
+
+/// A frame in flight on the model channel of
+/// [`drive_gobackn_over_adversarial_channel`].
+#[derive(Clone, Debug)]
+enum ModelFrame {
+    Data(ftgm_mcp::ChunkRecord),
+    Ack(u32),
+    Nack(u32),
+}
+
+/// Drives one [`SenderStream`]/[`ReceiverStream`] pair over an
+/// adversarial channel that drops, duplicates, and reorders frames in
+/// both directions, with an optional FTGM-style receiver recovery
+/// mid-stream (in-flight frames lost, half-assembled message discarded,
+/// `restore()` to the last commit frontier, Go-Back-N replay).
+///
+/// Panics on any violation of exactly-once in-order delivery; returns
+/// `(committed, completed)` message-id lists for the final assertions.
+#[allow(clippy::too_many_arguments)] // a test harness, not API surface
+fn drive_gobackn_over_adversarial_channel(
+    seed: u64,
+    drop_pct: u64,
+    dup_pct: u64,
+    reorder_pct: u64,
+    msgs: u64,
+    chunks_per_msg: u32,
+    recover_after_commits: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    use ftgm_mcp::{ChunkRecord, ReceiverStream, SenderStream};
+    use ftgm_mcp::gobackn::RxVerdict;
+    use std::collections::VecDeque;
+
+    const WINDOW: u32 = 8;
+    let rto = SimDuration::from_us(40);
+    let at = |step: u64| SimTime::ZERO + SimDuration::from_us(step);
+    let mut rng = SimRng::new(seed ^ 0x60BA_C4A0);
+
+    // Pops the next frame off a queue under channel adversity: possibly
+    // swapping the front pair (reorder), dropping it, or re-enqueueing a
+    // copy at the back (duplication, which also reorders).
+    let perturb = |q: &mut VecDeque<ModelFrame>, rng: &mut SimRng| -> Option<ModelFrame> {
+        if q.len() >= 2 && rng.gen_range(100) < reorder_pct {
+            q.swap(0, 1);
+        }
+        let f = q.pop_front()?;
+        if rng.gen_range(100) < drop_pct {
+            return None;
+        }
+        if rng.gen_range(100) < dup_pct {
+            q.push_back(f.clone());
+        }
+        Some(f)
+    };
+
+    let mut tx = SenderStream::new(0, SimTime::ZERO);
+    let mut rx = ReceiverStream::new(0);
+    let mut to_data: VecDeque<ModelFrame> = VecDeque::new();
+    let mut to_ack: VecDeque<ModelFrame> = VecDeque::new();
+    let mut pending_resend: Vec<ChunkRecord> = Vec::new();
+    // Admission source: msgs × chunks_per_msg chunks, strictly sequential.
+    let mut next_chunk = 0u64;
+    let total_chunks = msgs * chunks_per_msg as u64;
+    let rec_for = |global: u64, seq: u32| {
+        let offset = (global % chunks_per_msg as u64) as u32;
+        ChunkRecord {
+            seq,
+            msg_id: global / chunks_per_msg as u64,
+            slab: seq % 256,
+            len: 64,
+            msg_len: 64 * chunks_per_msg,
+            chunk_offset: offset * 64,
+            last: offset == chunks_per_msg - 1,
+            syn: false,
+            dst_node: NodeId(1),
+            dst_port: 2,
+            src_port: 0,
+            prio_high: false,
+        }
+    };
+
+    let mut assembly: Vec<(u64, u32)> = Vec::new();
+    let mut committed: Vec<u64> = Vec::new();
+    let mut completed: Vec<u64> = Vec::new();
+    let mut recovered = false;
+
+    for step in 0.. {
+        assert!(step < 400_000, "no convergence: {committed:?} / {completed:?}");
+        let now = at(step);
+
+        // Sender: admit new chunks under the window, then trickle any
+        // pending Go-Back-N retransmissions into the channel.
+        while next_chunk < total_chunks && tx.window_open(WINDOW) {
+            let rec = rec_for(next_chunk, tx.next_seq());
+            tx.admit(rec.clone());
+            to_data.push_back(ModelFrame::Data(rec));
+            next_chunk += 1;
+        }
+        for rec in pending_resend.drain(..) {
+            to_data.push_back(ModelFrame::Data(rec));
+        }
+
+        // Receiver side: up to two data frames arrive per step.
+        for _ in 0..2 {
+            match perturb(&mut to_data, &mut rng) {
+                Some(ModelFrame::Data(rec)) => match rx.classify(rec.seq) {
+                    RxVerdict::Accept => {
+                        rx.advance();
+                        if let Some(&(m, o)) = assembly.last() {
+                            assert_eq!(m, rec.msg_id, "interleaved assembly");
+                            assert_eq!(o + 64, rec.chunk_offset, "offset gap");
+                        } else {
+                            assert_eq!(rec.chunk_offset, 0, "message starts mid-way");
+                        }
+                        assembly.push((rec.msg_id, rec.chunk_offset));
+                        if rec.last {
+                            // Exactly-once, in-order commit.
+                            assert_eq!(assembly.len(), chunks_per_msg as usize);
+                            assert_eq!(committed.len() as u64, rec.msg_id, "commit order");
+                            committed.push(rec.msg_id);
+                            assembly.clear();
+                        }
+                        to_ack.push_back(ModelFrame::Ack(rx.expected()));
+                    }
+                    RxVerdict::Duplicate => to_ack.push_back(ModelFrame::Ack(rx.expected())),
+                    RxVerdict::OutOfOrder => to_ack.push_back(ModelFrame::Nack(rx.expected())),
+                },
+                Some(_) => unreachable!("acks never ride the data queue"),
+                None => {}
+            }
+        }
+
+        // Sender side: up to two control frames arrive per step.
+        for _ in 0..2 {
+            match perturb(&mut to_ack, &mut rng) {
+                Some(ModelFrame::Ack(v)) => completed.extend(tx.on_ack(v, now).completed),
+                Some(ModelFrame::Nack(v)) => {
+                    // A rewind supersedes queued retransmissions (as the
+                    // MCP does), else NACK bursts amplify.
+                    pending_resend = tx.rewind_from(v);
+                }
+                Some(ModelFrame::Data(_)) => unreachable!("data never rides the ack queue"),
+                None => {}
+            }
+        }
+
+        if let Some(rw) = tx.check_timeout(now, rto) {
+            pending_resend = rw;
+        }
+
+        // Mid-stream receiver recovery: everything in flight dies with
+        // the interface, the half-assembled message is discarded, and
+        // the restored expected counter is the last *commit* frontier —
+        // uncommitted chunks are re-fetched in full by Go-Back-N.
+        if !recovered && committed.len() as u64 >= recover_after_commits {
+            recovered = true;
+            to_data.clear();
+            to_ack.clear();
+            pending_resend.clear();
+            let frontier = rx.expected().wrapping_sub(assembly.len() as u32);
+            assembly.clear();
+            rx.restore(frontier);
+        }
+
+        if committed.len() as u64 == msgs && completed.len() as u64 == msgs {
+            break;
+        }
+    }
+    (committed, completed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Protocol-level exactly-once: for ANY rates of loss, duplication,
+    /// and reordering — in both directions — and an FTGM receiver
+    /// recovery in the middle of the stream, Go-Back-N commits every
+    /// message exactly once, in order, with contiguous chunks, and the
+    /// sender observes every completion exactly once, in order.
+    #[test]
+    fn gobackn_stream_exactly_once_across_recovery_replay(
+        drop_pct in 0u64..35,
+        dup_pct in 0u64..25,
+        reorder_pct in 0u64..50,
+        seed in any::<u64>(),
+        chunks_per_msg in 1u32..5,
+        recover_after in 1u64..12,
+    ) {
+        let msgs = 12u64;
+        let (committed, completed) = drive_gobackn_over_adversarial_channel(
+            seed, drop_pct, dup_pct, reorder_pct, msgs, chunks_per_msg, recover_after,
+        );
+        let want: Vec<u64> = (0..msgs).collect();
+        prop_assert_eq!(&committed, &want, "receiver commits");
+        prop_assert_eq!(&completed, &want, "sender completions");
     }
 }
 
