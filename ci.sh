@@ -41,7 +41,9 @@ step test-debug 1800 cargo test -q
 # with #[ignore] to keep the tier under budget).
 step chaos-determinism 900 cargo test --release -q -p ftgm-core \
     --test chaos_smoke --test determinism
-step lint 120 cargo run -q -p ftgm-lint -- --deny-new --quiet
+mkdir -p results
+step lint 120 cargo run -q -p ftgm-lint -- --deny-new --quiet \
+    --report results/lint_report.json
 # Recovery-under-load SLO sweep: produces the perf-trajectory file
 # BENCH_slo.json (plus results/slo_summary.json) on every green build
 # and exits non-zero on any SLO-oracle violation.
@@ -74,7 +76,17 @@ for key in '"schema": "ftgm-scale-v1"' '"sched_cells"' '"world_cells"' \
         exit 1
     }
 done
-for f in BENCH_slo.json BENCH_scale.json; do
+# The lint report is a build artifact with the same contract as the
+# bench summaries: stable schema, zero unbaselined findings, and no
+# float values (counts and 1-based source positions only).
+for key in '"schema": "ftgm-lint-v1"' '"rules"' '"new_count": 0' \
+    '"baselined_count"' '"stale_count": 0' '"findings"'; do
+    grep -q "$key" results/lint_report.json || {
+        echo "results/lint_report.json: missing required key $key" >&2
+        exit 1
+    }
+done
+for f in BENCH_slo.json BENCH_scale.json results/lint_report.json; do
     if grep -Eq ':[[:space:]]*-?[0-9]+\.' "$f"; then
         echo "$f: non-integer numeric value found" >&2
         exit 1

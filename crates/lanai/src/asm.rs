@@ -25,7 +25,7 @@
 //! always expands to a fixed 2-instruction sequence so that label addresses
 //! are stable in pass one.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -54,7 +54,7 @@ pub struct Assembled {
     /// Little-endian machine code bytes.
     pub bytes: Vec<u8>,
     /// Byte offset of every label, relative to the image start.
-    pub labels: HashMap<String, u32>,
+    pub labels: BTreeMap<String, u32>,
 }
 
 impl Assembled {
@@ -112,7 +112,7 @@ enum ParsedInstr {
 /// Returns the first syntax error, unknown mnemonic, out-of-range immediate,
 /// or undefined/duplicate label encountered.
 pub fn assemble(source: &str) -> Result<Assembled, AsmError> {
-    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
     let mut lines: Vec<Line> = Vec::new();
     let mut offset: u32 = 0;
 
@@ -216,7 +216,7 @@ fn expand_li(rd: Reg, v: u32) -> [Instr; 2] {
 }
 
 fn branch_offset(
-    labels: &HashMap<String, u32>,
+    labels: &BTreeMap<String, u32>,
     target: &str,
     pc: u32,
     line: usize,

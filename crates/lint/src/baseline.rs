@@ -2,11 +2,17 @@
 //! violations, so the lint gate can demand "no *new* findings" without
 //! requiring the whole backlog to be fixed in one PR.
 //!
-//! Entries are keyed on `(rule, file, trimmed snippet)` rather than line
-//! numbers, so unrelated edits that shift lines do not invalidate the
-//! baseline, while *editing the offending line itself* surfaces the
-//! violation again. A `count` field covers identical snippets (e.g. the
-//! same `use` line or two occurrences on one line).
+//! Entries are keyed on `(rule, file, symbol)` — the enclosing function
+//! (or item) of the violation — so line churn *and* edits elsewhere in
+//! the function do not invalidate the ledger, while moving or rewriting
+//! the offending function surfaces its violations again. A `count` field
+//! covers multiple findings in one symbol.
+//!
+//! The pre-call-graph format keyed entries on the trimmed source snippet
+//! instead. [`Baseline::parse`] rejects that format with a pointer to
+//! `ftgm-lint --migrate-baseline`, which re-keys a legacy ledger against
+//! the current findings and drops entries that no longer match anything
+//! (see [`migrate`]).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -14,9 +20,22 @@ use std::path::Path;
 use crate::json::{self, Value};
 use crate::Finding;
 
+/// Schema tag written to (and required in) the baseline file.
+pub const SCHEMA: &str = "ftgm-lint-baseline-v2";
+
 /// One baseline entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub symbol: String,
+    pub count: u64,
+}
+
+/// One entry of the legacy snippet-keyed format (kept only so
+/// `--migrate-baseline` can read it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LegacyEntry {
     pub rule: String,
     pub file: String,
     pub snippet: String,
@@ -54,13 +73,25 @@ impl Baseline {
         Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
-    /// Parses the JSON baseline format (the same shape `render` emits).
+    /// Parses the v2 JSON baseline format (the same shape `render`
+    /// emits). The legacy snippet-keyed format is detected and rejected
+    /// with a migration pointer.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let v = json::parse(text)?;
         let entries = v
             .get("entries")
             .and_then(Value::as_arr)
             .ok_or("baseline must be an object with an \"entries\" array")?;
+        let schema = v.get("schema").and_then(Value::as_str);
+        if schema != Some(SCHEMA) {
+            if entries.iter().any(|e| e.get("snippet").is_some()) || schema.is_none() {
+                return Err(format!(
+                    "legacy snippet-keyed baseline; re-key it with \
+                     `cargo run -p ftgm-lint -- --migrate-baseline` (expected schema \"{SCHEMA}\")"
+                ));
+            }
+            return Err(format!("unknown baseline schema {schema:?}, expected \"{SCHEMA}\""));
+        }
         let mut out = Vec::new();
         for e in entries {
             let field = |k: &str| -> Result<String, String> {
@@ -72,27 +103,52 @@ impl Baseline {
             out.push(Entry {
                 rule: field("rule")?,
                 file: field("file")?,
-                snippet: field("snippet")?,
+                symbol: field("symbol")?,
                 count: e.get("count").and_then(Value::as_u64).unwrap_or(1),
             });
         }
         Ok(Baseline { entries: out })
     }
 
+    /// Parses the legacy snippet-keyed format, for migration only.
+    pub fn parse_legacy(text: &str) -> Result<Vec<LegacyEntry>, String> {
+        let v = json::parse(text)?;
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or("baseline must be an object with an \"entries\" array")?;
+        let mut out = Vec::new();
+        for e in entries {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("legacy baseline entry missing string field \"{k}\""))
+            };
+            out.push(LegacyEntry {
+                rule: field("rule")?,
+                file: field("file")?,
+                snippet: field("snippet")?,
+                count: e.get("count").and_then(Value::as_u64).unwrap_or(1),
+            });
+        }
+        Ok(out)
+    }
+
     /// Renders the baseline as pretty JSON (stable entry order).
     pub fn render(&self) -> String {
         let mut entries = self.entries.clone();
         entries.sort_by(|a, b| {
-            (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet))
+            (&a.file, &a.rule, &a.symbol).cmp(&(&b.file, &b.rule, &b.symbol))
         });
-        let mut out = String::from("{\n  \"entries\": [\n");
+        let mut out = format!("{{\n  \"schema\": \"{SCHEMA}\",\n  \"entries\": [\n");
         for (i, e) in entries.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"snippet\": \"{}\"}}{}\n",
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"symbol\": \"{}\", \"count\": {}}}{}\n",
                 json::escape(&e.rule),
                 json::escape(&e.file),
+                json::escape(&e.symbol),
                 e.count,
-                json::escape(&e.snippet),
                 if i + 1 < entries.len() { "," } else { "" }
             ));
         }
@@ -105,16 +161,16 @@ impl Baseline {
         let mut counts: BTreeMap<(String, String, String), u64> = BTreeMap::new();
         for f in findings {
             *counts
-                .entry((f.rule.to_string(), f.file.clone(), f.snippet.clone()))
+                .entry((f.rule.to_string(), f.file.clone(), f.symbol.clone()))
                 .or_insert(0) += 1;
         }
         Baseline {
             entries: counts
                 .into_iter()
-                .map(|((rule, file, snippet), count)| Entry {
+                .map(|((rule, file, symbol), count)| Entry {
                     rule,
                     file,
-                    snippet,
+                    symbol,
                     count,
                 })
                 .collect(),
@@ -126,12 +182,12 @@ impl Baseline {
         let mut budget: BTreeMap<(&str, &str, &str), u64> = BTreeMap::new();
         for e in &self.entries {
             *budget
-                .entry((e.rule.as_str(), e.file.as_str(), e.snippet.as_str()))
+                .entry((e.rule.as_str(), e.file.as_str(), e.symbol.as_str()))
                 .or_insert(0) += e.count;
         }
         let mut diff = Diff::default();
         for f in findings {
-            let key = (f.rule, f.file.as_str(), f.snippet.as_str());
+            let key = (f.rule, f.file.as_str(), f.symbol.as_str());
             match budget.get_mut(&key) {
                 Some(n) if *n > 0 => {
                     *n -= 1;
@@ -140,12 +196,12 @@ impl Baseline {
                 _ => diff.new.push(f.clone()),
             }
         }
-        for ((rule, file, snippet), left) in budget {
+        for ((rule, file, symbol), left) in budget {
             if left > 0 {
                 diff.stale.push(Entry {
                     rule: rule.to_string(),
                     file: file.to_string(),
-                    snippet: snippet.to_string(),
+                    symbol: symbol.to_string(),
                     count: left,
                 });
             }
@@ -154,17 +210,58 @@ impl Baseline {
     }
 }
 
+/// Re-keys a legacy snippet-keyed ledger against the current findings:
+/// each finding whose `(rule, file, snippet)` a legacy entry still
+/// covers is carried into the new `(rule, file, symbol)` ledger; legacy
+/// entries matching nothing (dead debt — the violation was fixed, or the
+/// new analysis no longer reports it) are dropped and returned.
+pub fn migrate(
+    legacy: &[LegacyEntry],
+    findings: &[Finding],
+) -> (Baseline, Vec<LegacyEntry>) {
+    let mut budget: BTreeMap<(&str, &str, &str), u64> = BTreeMap::new();
+    for e in legacy {
+        *budget
+            .entry((e.rule.as_str(), e.file.as_str(), e.snippet.as_str()))
+            .or_insert(0) += e.count;
+    }
+    let mut covered: Vec<Finding> = Vec::new();
+    for f in findings {
+        let key = (f.rule, f.file.as_str(), f.snippet.trim());
+        if let Some(n) = budget.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                covered.push(f.clone());
+            }
+        }
+    }
+    let mut dead = Vec::new();
+    for ((rule, file, snippet), left) in budget {
+        if left > 0 {
+            dead.push(LegacyEntry {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                snippet: snippet.to_string(),
+                count: left,
+            });
+        }
+    }
+    (Baseline::from_findings(&covered), dead)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+    fn finding(rule: &'static str, file: &str, symbol: &str) -> Finding {
         Finding {
             rule,
             file: file.to_string(),
             line: 1,
             col: 1,
-            snippet: snippet.to_string(),
+            snippet: format!("snippet-of-{symbol}"),
+            symbol: symbol.to_string(),
+            chain: Vec::new(),
             message: String::new(),
         }
     }
@@ -172,9 +269,9 @@ mod tests {
     #[test]
     fn render_parse_round_trip() {
         let b = Baseline::from_findings(&[
-            finding("determinism", "a.rs", "use HashMap;"),
-            finding("determinism", "a.rs", "use HashMap;"),
-            finding("seqnum-discipline", "b.rs", "x.seq = 1; // \"quoted\""),
+            finding("determinism", "a.rs", "Asm::labels"),
+            finding("determinism", "a.rs", "Asm::labels"),
+            finding("seqnum-discipline", "b.rs", "Machine::on_ack \"quoted\""),
         ]);
         let rendered = b.render();
         let reparsed = Baseline::parse(&rendered).unwrap();
@@ -183,21 +280,66 @@ mod tests {
     }
 
     #[test]
+    fn legacy_format_is_rejected_with_migration_pointer() {
+        let legacy = "{\n  \"entries\": [\n    {\"rule\": \"determinism\", \
+                      \"file\": \"a.rs\", \"count\": 1, \"snippet\": \"use HashMap;\"}\n  ]\n}\n";
+        let err = Baseline::parse(legacy).unwrap_err();
+        assert!(err.contains("--migrate-baseline"), "{err}");
+        // ...but the legacy parser still reads it, for the migration.
+        let entries = Baseline::parse_legacy(legacy).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].snippet, "use HashMap;");
+    }
+
+    #[test]
+    fn migrate_rekeys_matches_and_drops_dead_entries() {
+        let legacy = vec![
+            LegacyEntry {
+                rule: "determinism".to_string(),
+                file: "a.rs".to_string(),
+                snippet: "snippet-of-Asm::labels".to_string(),
+                count: 2,
+            },
+            LegacyEntry {
+                rule: "determinism".to_string(),
+                file: "a.rs".to_string(),
+                snippet: "fixed long ago".to_string(),
+                count: 1,
+            },
+        ];
+        let current = [
+            finding("determinism", "a.rs", "Asm::labels"),
+            finding("determinism", "a.rs", "Asm::labels"),
+            finding("determinism", "a.rs", "Asm::other"), // not in legacy
+        ];
+        let (v2, dead) = migrate(&legacy, &current);
+        assert_eq!(v2.entries.len(), 1, "{v2:#?}");
+        assert_eq!(v2.entries[0].symbol, "Asm::labels");
+        assert_eq!(v2.entries[0].count, 2);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].snippet, "fixed long ago");
+        // The unmatched current finding stays new under the migrated ledger.
+        let d = v2.diff(&current);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].symbol, "Asm::other");
+    }
+
+    #[test]
     fn diff_splits_new_baselined_stale() {
         let b = Baseline::from_findings(&[
             finding("determinism", "a.rs", "old"),
-            finding("determinism", "a.rs", "fixed-since"),
+            finding("determinism", "a.rs", "fixed_since"),
         ]);
         let current = [
             finding("determinism", "a.rs", "old"),
-            finding("determinism", "a.rs", "brand-new"),
+            finding("determinism", "a.rs", "brand_new"),
         ];
         let d = b.diff(&current);
         assert_eq!(d.baselined.len(), 1);
         assert_eq!(d.new.len(), 1);
-        assert_eq!(d.new[0].snippet, "brand-new");
+        assert_eq!(d.new[0].symbol, "brand_new");
         assert_eq!(d.stale.len(), 1);
-        assert_eq!(d.stale[0].snippet, "fixed-since");
+        assert_eq!(d.stale[0].symbol, "fixed_since");
     }
 
     #[test]

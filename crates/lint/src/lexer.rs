@@ -1,0 +1,276 @@
+//! Token stream over the stripped code view.
+//!
+//! [`lex`] turns a [`FileView`]'s `code_lines` (comments and literal
+//! contents already blanked by `strip.rs`) into a flat token sequence the
+//! item parser ([`crate::parse`]) consumes. Because it runs on the code
+//! view, a token can never originate inside a comment or a literal — the
+//! stripping layer and the lexer agree by construction, and the fuzz
+//! suite (`tests/fuzz_parser.rs`) pins that agreement as a property:
+//! every non-blank byte of the code view is covered by exactly one token.
+
+use crate::strip::FileView;
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also unicode identifiers — any byte ≥ 0x80
+    /// is treated as an identifier byte).
+    Ident,
+    /// Integer literal (including `0x1F`, `1_000u32` suffix forms).
+    Int,
+    /// Float literal (`1.5`, `2.`, `1e9`, `0.5e-3`).
+    Float,
+    /// A (blanked) string literal, `"..."` — one token per literal.
+    Str,
+    /// A (blanked) char literal, `'.'`.
+    Char,
+    /// A lifetime, `'a`.
+    Life,
+    /// `::`.
+    PathSep,
+    /// Any other single byte of punctuation.
+    Punct(u8),
+}
+
+/// One token with its source position (0-based line, byte column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` for this punctuation byte.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes the whole code view.
+pub fn lex(view: &FileView) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (line_no, line) in view.code_lines.iter().enumerate() {
+        lex_line(line, line_no as u32, &mut out);
+    }
+    out
+}
+
+fn lex_line(line: &str, line_no: u32, out: &mut Vec<Tok>) {
+    let b = line.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b' ' || c == b'\t' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if c == b'"' {
+            // The stripper blanked the contents; scan to the closing quote
+            // (or end of line for the tail of a raw string).
+            i += 1;
+            while i < b.len() && b[i] != b'"' {
+                i += 1;
+            }
+            if i < b.len() {
+                i += 1;
+            }
+            push(out, TokKind::Str, line, start, i, line_no);
+        } else if c == b'\'' {
+            // Lifetime ('a) vs blanked char literal ('.').
+            if i + 1 < b.len() && is_ident_start(b[i + 1]) && !closes_quote(b, i + 1) {
+                i += 1;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                push(out, TokKind::Life, line, start, i, line_no);
+            } else if let Some(close) = find_quote(b, i + 1) {
+                i = close + 1;
+                push(out, TokKind::Char, line, start, i, line_no);
+            } else {
+                i += 1;
+                push(out, TokKind::Punct(b'\''), line, start, i, line_no);
+            }
+        } else if is_ident_start(c) {
+            i += 1;
+            while i < b.len() && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            push(out, TokKind::Ident, line, start, i, line_no);
+        } else if c.is_ascii_digit() {
+            let hex = c == b'0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'b' || b[i + 1] == b'o');
+            i += 1;
+            let mut saw_exp = false;
+            while i < b.len() && (is_ident_cont(b[i]) || (!hex && exp_sign(b, i))) {
+                if !hex && (b[i] == b'e' || b[i] == b'E') && i + 1 < b.len()
+                    && (b[i + 1].is_ascii_digit() || exp_sign_at(b, i + 1))
+                {
+                    saw_exp = true;
+                }
+                i += 1;
+            }
+            let mut float = saw_exp;
+            // Fractional part — but not `1..3` ranges, and not when the
+            // literal follows a `.` already (tuple access `x.0.1`).
+            let after_dot = out.last().is_some_and(|t| t.is_punct(b'.'));
+            if !after_dot && !hex && i < b.len() && b[i] == b'.' {
+                let next = b.get(i + 1).copied();
+                let frac = next.is_some_and(|n| n.is_ascii_digit());
+                let bare = !next.is_some_and(|n| n == b'.' || is_ident_start(n));
+                if frac || bare {
+                    float = true;
+                    i += 1;
+                    while i < b.len() && (is_ident_cont(b[i]) || exp_sign(b, i)) {
+                        i += 1;
+                    }
+                }
+            }
+            let kind = if float { TokKind::Float } else { TokKind::Int };
+            push(out, kind, line, start, i, line_no);
+        } else if c == b':' && i + 1 < b.len() && b[i + 1] == b':' {
+            i += 2;
+            push(out, TokKind::PathSep, line, start, i, line_no);
+        } else {
+            i += 1;
+            push(out, TokKind::Punct(c), line, start, i, line_no);
+        }
+    }
+}
+
+/// Is `b[i..]` an exponent sign inside a numeric literal (`1e-9`)?
+fn exp_sign(b: &[u8], i: usize) -> bool {
+    (b[i] == b'+' || b[i] == b'-')
+        && i > 0
+        && (b[i - 1] == b'e' || b[i - 1] == b'E')
+        && i + 1 < b.len()
+        && b[i + 1].is_ascii_digit()
+}
+
+fn exp_sign_at(b: &[u8], i: usize) -> bool {
+    (b[i] == b'+' || b[i] == b'-') && i + 1 < b.len() && b[i + 1].is_ascii_digit()
+}
+
+/// Does an apostrophe close at `b[i+1]` (i.e. `'x'` rather than `'x`)?
+fn closes_quote(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && is_ident_cont(b[j]) {
+        j += 1;
+    }
+    j == i + 1 && j < b.len() && b[j] == b'\''
+}
+
+fn find_quote(b: &[u8], from: usize) -> Option<usize> {
+    (from..b.len()).find(|&j| b[j] == b'\'')
+}
+
+fn push(out: &mut Vec<Tok>, kind: TokKind, line: &str, start: usize, end: usize, line_no: u32) {
+    out.push(Tok {
+        kind,
+        text: line[start..end].to_string(),
+        line: line_no,
+        col: start as u32,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(&FileView::new(src))
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let t = toks("fn f(x: u32) -> u8 { x as u8 }\n");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "f", "x", "u32", "u8", "x", "as", "u8"]);
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let t = toks("a::b::c()\n");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::PathSep).count(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range_vs_tuple() {
+        let cases = [
+            ("let x = 1.5;", 1),
+            ("let x = 2.;", 1),
+            ("let x = 1e9;", 1),
+            ("let x = 0.5e-3;", 1),
+            ("for i in 0..10 {}", 0),
+            ("let y = t.0.1;", 0),
+            ("let h = 0xE0;", 0),
+            ("let n = 1_000u64;", 0),
+        ];
+        for (src, want) in cases {
+            let got = toks(src).iter().filter(|t| t.kind == TokKind::Float).count();
+            assert_eq!(got, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn strings_and_chars_are_single_tokens() {
+        let t = toks("f(\"panic! inside\", 'x', 'a: &'a str)\n");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Life).count(), 2);
+        assert!(!t.iter().any(|t| t.text.contains("panic")));
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        let t = toks("x // unwrap() here\n/* block HashMap */ y\n");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn every_nonblank_byte_is_covered() {
+        let src = "fn f<'a>(x: &'a [u8]) -> u32 { x[0] as u32 + 1.5e3 as u32 }\n";
+        let view = FileView::new(src);
+        let t = lex(&view);
+        let mut covered: Vec<Vec<bool>> = view
+            .code_lines
+            .iter()
+            .map(|l| vec![false; l.len()])
+            .collect();
+        for tok in &t {
+            for i in 0..tok.text.len() {
+                covered[tok.line as usize][tok.col as usize + i] = true;
+            }
+        }
+        for (li, line) in view.code_lines.iter().enumerate() {
+            for (bi, &b) in line.as_bytes().iter().enumerate() {
+                if b != b' ' && b != b'\t' {
+                    assert!(covered[li][bi], "byte {bi} of line {li} uncovered");
+                }
+            }
+        }
+    }
+}

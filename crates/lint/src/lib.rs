@@ -18,11 +18,24 @@
 //! or an entry in the checked-in baseline (`crates/lint/baseline.json`).
 
 pub mod baseline;
+pub mod graph;
 pub mod json;
+pub mod lexer;
+pub mod parse;
+pub mod passes;
 pub mod rules;
 pub mod strip;
 
 use std::path::{Path, PathBuf};
+
+/// One hop of a call-chain diagnostic (graph rules R7–R9).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Repo-relative path of the hop's defining file.
+    pub file: String,
+    /// The hop's function symbol (`FtdPhase::apply`, `ftd_main`, …).
+    pub symbol: String,
+}
 
 /// One rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,48 +48,100 @@ pub struct Finding {
     pub line: usize,
     /// 1-based column (byte offset into the line).
     pub col: usize,
-    /// The offending line, trimmed (the baseline key).
+    /// The offending line, trimmed.
     pub snippet: String,
+    /// Enclosing symbol: the innermost `fn` (or item) owning the line,
+    /// `<file>` for file-level lines. Part of the baseline key.
+    pub symbol: String,
+    /// For graph rules: the shortest call chain from the invariant's
+    /// entry point to the function containing the violation (inclusive
+    /// of both ends). Empty for per-line rules.
+    pub chain: Vec<ChainHop>,
     /// Human-readable explanation.
     pub message: String,
 }
 
 impl Finding {
-    /// `file:line:col: rule: message` — the human-readable form.
+    /// `file:line:col: rule: message` — the human-readable form, with
+    /// the call chain (when present) on a `via` line.
     pub fn render(&self) -> String {
-        format!(
-            "{}:{}:{}: {}: {}\n    {}",
-            self.file, self.line, self.col, self.rule, self.message, self.snippet
-        )
+        let mut s = format!(
+            "{}:{}:{}: {}: [{}] {}\n    {}",
+            self.file, self.line, self.col, self.rule, self.symbol, self.message, self.snippet
+        );
+        if self.chain.len() > 1 {
+            let hops: Vec<&str> = self.chain.iter().map(|h| h.symbol.as_str()).collect();
+            s.push_str(&format!("\n    via {}", hops.join(" \u{2192} ")));
+        }
+        s
     }
 
     /// JSON object form (one element of the report's `findings` array).
     pub fn render_json(&self, baselined: bool) -> String {
+        let chain = self
+            .chain
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"file\": \"{}\", \"symbol\": \"{}\"}}",
+                    json::escape(&h.file),
+                    json::escape(&h.symbol)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
-             \"baselined\": {}, \"snippet\": \"{}\", \"message\": \"{}\"}}",
+             \"symbol\": \"{}\", \"baselined\": {}, \"snippet\": \"{}\", \
+             \"chain\": [{}], \"message\": \"{}\"}}",
             json::escape(self.rule),
             json::escape(&self.file),
             self.line,
             self.col,
+            json::escape(&self.symbol),
             baselined,
             json::escape(&self.snippet),
+            chain,
             json::escape(&self.message),
         )
     }
 }
 
 /// Scans one file's content as if it lived at `rel` (forward-slash,
-/// repo-relative). This is the engine's core entry point; the fixture
-/// tests drive it directly.
+/// repo-relative): a one-file workspace, so both the per-line rules and
+/// the graph rules run. The fixture tests drive this directly.
 pub fn scan_file_content(rel: &str, content: &str) -> Vec<Finding> {
-    rules::scan(rel, &strip::FileView::new(content))
+    let ws = graph::Workspace::from_sources(
+        vec![(rel.to_string(), content.to_string())],
+        &[],
+    );
+    scan_ws(&ws)
 }
 
-/// Walks `root/crates/*/src` and scans every `.rs` file. Findings are
-/// sorted by (file, line, col, rule) so output is stable.
-pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+/// Runs every rule — per-line and graph — over a parsed workspace.
+/// Findings are sorted by (file, line, col, rule) so output is stable.
+pub fn scan_ws(ws: &graph::Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
+    for f in &ws.files {
+        findings.extend(rules::scan(&f.rel, &f.view, &f.parsed));
+    }
+    findings.extend(passes::scan_graph(ws));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    findings
+}
+
+/// Walks `root/crates/*/src`, parses every `.rs` file plus the crate
+/// manifests, and scans the resulting workspace.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    Ok(scan_ws(&load_workspace(root)?))
+}
+
+/// Builds the parsed [`graph::Workspace`] for a checkout.
+pub fn load_workspace(root: &Path) -> Result<graph::Workspace, String> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut manifests: Vec<(String, String)> = Vec::new();
     let crates_dir = root.join("crates");
     let crate_entries = std::fs::read_dir(&crates_dir)
         .map_err(|e| format!("{}: {e}", crates_dir.display()))?;
@@ -87,21 +152,25 @@ pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         .collect();
     crate_dirs.sort();
     for dir in crate_dirs {
+        let manifest = dir.join("Cargo.toml");
+        if let (Some(name), Ok(text)) = (
+            dir.file_name().map(|n| n.to_string_lossy().into_owned()),
+            std::fs::read_to_string(&manifest),
+        ) {
+            manifests.push((name, text));
+        }
         let src = dir.join("src");
         if src.is_dir() {
             walk_rs(&src, &mut |path| {
                 let rel = rel_path(root, path);
                 let content = std::fs::read_to_string(path)
                     .map_err(|e| format!("{}: {e}", path.display()))?;
-                findings.extend(scan_file_content(&rel, &content));
+                sources.push((rel, content));
                 Ok(())
             })?;
         }
     }
-    findings.sort_by(|a, b| {
-        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
-    });
-    Ok(findings)
+    Ok(graph::Workspace::from_sources(sources, &manifests))
 }
 
 fn walk_rs(
@@ -168,6 +237,17 @@ mod tests {
             line: 3,
             col: 7,
             snippet: "use std::collections::HashMap;".to_string(),
+            symbol: "Sched::push".to_string(),
+            chain: vec![
+                ChainHop {
+                    file: "crates/sim/src/sched.rs".to_string(),
+                    symbol: "run".to_string(),
+                },
+                ChainHop {
+                    file: "crates/sim/src/x.rs".to_string(),
+                    symbol: "Sched::push".to_string(),
+                },
+            ],
             message: "msg with \"quotes\"".to_string(),
         };
         let j = f.render_json(true);
@@ -177,6 +257,11 @@ mod tests {
             parsed.get("message").and_then(json::Value::as_str),
             Some("msg with \"quotes\"")
         );
+        assert_eq!(
+            parsed.get("symbol").and_then(json::Value::as_str),
+            Some("Sched::push")
+        );
+        assert!(f.render().contains("via run \u{2192} Sched::push"));
     }
 
     #[test]

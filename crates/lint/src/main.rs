@@ -4,7 +4,9 @@
 //! cargo run -p ftgm-lint                  # human-readable report
 //! cargo run -p ftgm-lint -- --json       # machine-readable report
 //! cargo run -p ftgm-lint -- --deny-new   # CI gate: also fail on stale baseline
-//! cargo run -p ftgm-lint -- --write-baseline   # regenerate the baseline
+//! cargo run -p ftgm-lint -- --write-baseline     # regenerate the baseline
+//! cargo run -p ftgm-lint -- --migrate-baseline   # legacy snippet ledger → v2
+//! cargo run -p ftgm-lint -- --report FILE        # also write the JSON report
 //! ```
 //!
 //! Exit codes: 0 = clean (new findings: none; with `--deny-new` also no
@@ -13,7 +15,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ftgm_lint::baseline::Baseline;
+use ftgm_lint::baseline::{self, Baseline};
 use ftgm_lint::{baseline_path, default_root, rules, scan_workspace};
 
 struct Options {
@@ -22,6 +24,8 @@ struct Options {
     json: bool,
     deny_new: bool,
     write_baseline: bool,
+    migrate_baseline: bool,
+    report: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -32,6 +36,8 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         deny_new: false,
         write_baseline: false,
+        migrate_baseline: false,
+        report: None,
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -40,6 +46,7 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--deny-new" => opts.deny_new = true,
             "--write-baseline" => opts.write_baseline = true,
+            "--migrate-baseline" => opts.migrate_baseline = true,
             "--quiet" | "-q" => opts.quiet = true,
             "--root" => {
                 opts.root = PathBuf::from(
@@ -49,6 +56,11 @@ fn parse_args() -> Result<Options, String> {
             "--baseline" => {
                 opts.baseline = Some(PathBuf::from(
                     args.next().ok_or("--baseline requires a path argument")?,
+                ));
+            }
+            "--report" => {
+                opts.report = Some(PathBuf::from(
+                    args.next().ok_or("--report requires a path argument")?,
                 ));
             }
             "--rules" => {
@@ -72,15 +84,19 @@ fn print_help() {
         "ftgm-lint: FTGM invariant checker (recovery-safety + determinism)\n\
          \n\
          USAGE: ftgm-lint [--json] [--deny-new] [--write-baseline] [--quiet]\n\
+         \x20                [--migrate-baseline] [--report FILE]\n\
          \x20                [--root DIR] [--baseline FILE] [--rules]\n\
          \n\
-         --json            emit a JSON report on stdout\n\
-         --deny-new        CI gate: exit 1 on new findings OR stale baseline entries\n\
-         --write-baseline  rewrite the baseline to cover all current findings\n\
-         --quiet           suppress baselined findings in human output\n\
-         --root DIR        workspace root (default: this checkout)\n\
-         --baseline FILE   baseline path (default: <root>/crates/lint/baseline.json)\n\
-         --rules           list rules and exit\n\
+         --json              emit a JSON report on stdout\n\
+         --deny-new          CI gate: exit 1 on new findings OR stale baseline entries\n\
+         --write-baseline    rewrite the baseline to cover all current findings\n\
+         --migrate-baseline  re-key a legacy snippet-keyed baseline to (rule, file,\n\
+         \x20                   symbol) entries, dropping entries that match nothing\n\
+         --report FILE       also write the JSON report to FILE\n\
+         --quiet             suppress baselined findings in human output\n\
+         --root DIR          workspace root (default: this checkout)\n\
+         --baseline FILE     baseline path (default: <root>/crates/lint/baseline.json)\n\
+         --rules             list rules and exit\n\
          \n\
          Inline suppression: `// lint:allow(<rule>)` on or above the line.\n\
          See docs/STATIC_ANALYSIS.md."
@@ -108,6 +124,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.migrate_baseline {
+        return migrate_baseline(&baseline_file, &findings, opts.quiet);
+    }
+
     if opts.write_baseline {
         let b = Baseline::from_findings(&findings);
         if let Err(e) = std::fs::write(&baseline_file, b.render()) {
@@ -134,8 +154,14 @@ fn main() -> ExitCode {
     };
     let diff = baseline.diff(&findings);
 
+    if let Some(path) = &opts.report {
+        if let Err(e) = std::fs::write(path, report_json(&diff)) {
+            eprintln!("ftgm-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if opts.json {
-        print_json(&diff);
+        print!("{}", report_json(&diff));
     } else {
         print_human(&diff, opts.quiet);
     }
@@ -148,7 +174,62 @@ fn main() -> ExitCode {
     }
 }
 
-fn print_json(diff: &ftgm_lint::baseline::Diff) {
+/// One-shot legacy → v2 baseline migration.
+fn migrate_baseline(
+    baseline_file: &std::path::Path,
+    findings: &[ftgm_lint::Finding],
+    quiet: bool,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ftgm-lint: cannot read {}: {e}", baseline_file.display());
+            return ExitCode::from(2);
+        }
+    };
+    if Baseline::parse(&text).is_ok() {
+        if !quiet {
+            println!("{} is already in the v2 format; nothing to do", baseline_file.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let legacy = match Baseline::parse_legacy(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("ftgm-lint: cannot parse legacy baseline: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (v2, dead) = baseline::migrate(&legacy, findings);
+    if let Err(e) = std::fs::write(baseline_file, v2.render()) {
+        eprintln!("ftgm-lint: cannot write {}: {e}", baseline_file.display());
+        return ExitCode::from(2);
+    }
+    if !quiet {
+        println!(
+            "migrated {}: {} v2 entr{} written, {} dead legacy entr{} dropped",
+            baseline_file.display(),
+            v2.entries.len(),
+            if v2.entries.len() == 1 { "y" } else { "ies" },
+            dead.len(),
+            if dead.len() == 1 { "y" } else { "ies" },
+        );
+        for e in &dead {
+            println!("  dropped ({}x): {} in {} — `{}`", e.count, e.rule, e.file, e.snippet);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The machine-readable report (stdout `--json` and `--report FILE`).
+/// Deterministic and integer-only: findings arrive sorted from the scan,
+/// and every numeric field is a count or a 1-based source position.
+fn report_json(diff: &ftgm_lint::baseline::Diff) -> String {
+    let rules_list = rules::ALL_RULES
+        .iter()
+        .map(|r| format!("\"{r}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
     let mut items: Vec<String> = Vec::new();
     items.extend(diff.new.iter().map(|f| f.render_json(false)));
     items.extend(diff.baselined.iter().map(|f| f.render_json(true)));
@@ -157,21 +238,25 @@ fn print_json(diff: &ftgm_lint::baseline::Diff) {
         .iter()
         .map(|e| {
             format!(
-                "{{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"snippet\": \"{}\"}}",
+                "{{\"rule\": \"{}\", \"file\": \"{}\", \"symbol\": \"{}\", \"count\": {}}}",
                 ftgm_lint::json::escape(&e.rule),
                 ftgm_lint::json::escape(&e.file),
-                e.count,
-                ftgm_lint::json::escape(&e.snippet)
+                ftgm_lint::json::escape(&e.symbol),
+                e.count
             )
         })
         .collect();
-    println!(
-        "{{\n  \"new_count\": {},\n  \"baselined_count\": {},\n  \"findings\": [\n    {}\n  ],\n  \"stale_baseline_entries\": [\n    {}\n  ]\n}}",
+    format!(
+        "{{\n  \"schema\": \"ftgm-lint-v1\",\n  \"rules\": [{}],\n  \
+         \"new_count\": {},\n  \"baselined_count\": {},\n  \"stale_count\": {},\n  \
+         \"findings\": [\n    {}\n  ],\n  \"stale_baseline_entries\": [\n    {}\n  ]\n}}\n",
+        rules_list,
         diff.new.len(),
         diff.baselined.len(),
+        diff.stale.len(),
         items.join(",\n    "),
         stale.join(",\n    ")
-    );
+    )
 }
 
 fn print_human(diff: &ftgm_lint::baseline::Diff, quiet: bool) {
@@ -186,7 +271,7 @@ fn print_human(diff: &ftgm_lint::baseline::Diff, quiet: bool) {
     for e in &diff.stale {
         println!(
             "stale baseline entry ({}x): {} in {} — `{}` was fixed; run --write-baseline",
-            e.count, e.rule, e.file, e.snippet
+            e.count, e.rule, e.file, e.symbol
         );
     }
     println!(

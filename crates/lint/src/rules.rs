@@ -1,12 +1,16 @@
-//! The FTGM invariant rules (R1–R6) and their matchers.
+//! The per-line FTGM invariant rules (R1–R6) and their matchers.
 //!
 //! Each rule is a set of per-line token matchers applied to the blanked
 //! "code view" ([`crate::strip::FileView`]) of the files it governs.
 //! Matchers are deliberately token-based, not AST-based: the build
 //! environment is offline, so the engine cannot depend on `syn`, and
 //! every invariant here is expressible as "token X (in context Y) must
-//! not appear in file set Z".
+//! not appear in file set Z". The *call-graph* rules (R7–R9), which
+//! extend these invariants transitively along the workspace call graph,
+//! live in [`crate::passes`]; this module owns the rule-name registry
+//! for both families.
 
+use crate::parse::ParsedFile;
 use crate::strip::FileView;
 use crate::Finding;
 
@@ -18,15 +22,26 @@ pub const SEQNUM_DISCIPLINE: &str = "seqnum-discipline";
 pub const NO_WILDCARD_MATCH: &str = "no-wildcard-match";
 pub const NO_TRUNCATING_CAST: &str = "no-truncating-cast";
 pub const TYPED_TRACE: &str = "typed-trace";
+/// R7: panicking construct in a function *reachable from* a recovery
+/// entry point (transitive closure of R1).
+pub const TRANSITIVE_PANIC: &str = "transitive-panic";
+/// R8: nondeterminism source reachable from sim-visible code
+/// (transitive closure of R2).
+pub const DETERMINISM_TAINT: &str = "determinism-taint";
+/// R9: float arithmetic reachable from the integer-only serializers.
+pub const FLOAT_IN_DETERMINISTIC_PATH: &str = "float-in-deterministic-path";
 
 /// All rule names, in report order.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 9] = [
     RECOVERY_NO_PANIC,
     DETERMINISM,
     SEQNUM_DISCIPLINE,
     NO_WILDCARD_MATCH,
     NO_TRUNCATING_CAST,
     TYPED_TRACE,
+    TRANSITIVE_PANIC,
+    DETERMINISM_TAINT,
+    FLOAT_IN_DETERMINISTIC_PATH,
 ];
 
 /// R1: modules on the recovery path must be total — no panicking calls.
@@ -101,13 +116,79 @@ pub fn describe(rule: &str) -> &'static str {
         TYPED_TRACE => {
             "no stringly trace calls (`trace.record`/`trace.find`) in non-test code; emit typed TraceKind events"
         }
+        TRANSITIVE_PANIC => {
+            "no panicking construct in any function reachable from a recovery entry point (call-graph closure of R1)"
+        }
+        DETERMINISM_TAINT => {
+            "no wall-clock, OS-randomness, or hash-order source reachable from sim-visible code (call-graph closure of R2)"
+        }
+        FLOAT_IN_DETERMINISTIC_PATH => {
+            "no float arithmetic reachable from the integer-only bench/metrics serializers"
+        }
         _ => "unknown rule",
     }
 }
 
-/// Runs every applicable rule over one file. `rel` is the repo-relative
-/// path with forward slashes.
-pub fn scan(rel: &str, view: &FileView) -> Vec<Finding> {
+/// Is `rel` inside R1's per-line scope? The graph pass (R7) skips these
+/// files — every line in them is already guarded directly.
+pub(crate) fn r1_covers(rel: &str) -> bool {
+    R1_FILES.contains(&rel) || R1_DIRS.iter().any(|d| rel.starts_with(d))
+}
+
+/// Is `rel` inside R2's per-line scope? The taint pass (R8) skips these
+/// files for the same reason.
+pub(crate) fn r2_covers(rel: &str) -> bool {
+    R2_DIRS.iter().any(|d| rel.starts_with(d))
+}
+
+/// Files whose non-test fns seed R7's reachability (in addition to the
+/// named entry fns below): the recovery state machine, the FTD, the
+/// replay/backup layers, and the observability modules that run inline
+/// with recovery. `crates/core/src/lib.rs` is the FtSystem glue — its
+/// hook closures *are* the paper's FAULT_DETECTED handlers.
+pub(crate) const R7_ENTRY_FILES: [&str; 8] = [
+    "crates/core/src/recovery.rs",
+    "crates/core/src/ftd.rs",
+    "crates/core/src/lib.rs",
+    "crates/gm/src/backup.rs",
+    "crates/mcp/src/gobackn.rs",
+    "crates/sim/src/trace.rs",
+    "crates/sim/src/metrics.rs",
+    "crates/sim/src/export.rs",
+];
+
+/// `(file, fn name)` pairs that seed R7 individually. `apply_action` is
+/// the chaos engine's fault-execution switch (it runs inside recovery);
+/// the scenario *runners* in the same file drive the whole simulator and
+/// are deliberately not entries — the event loop is not a recovery path.
+pub(crate) const R7_ENTRY_FNS: [(&str, &str); 1] =
+    [("crates/faults/src/chaos.rs", "apply_action")];
+
+/// `(file, fn name)` pairs that mark the integer-only serializer surface
+/// for R9 (in addition to every fn in `crates/sim/src/export.rs`). These
+/// are the byte-stable JSON emitters that ci.sh grep-gates as
+/// integer-only; `CampaignResult::to_json` in `faults/src/campaign.rs`
+/// is deliberately absent — its Table-1 percentages are floats by design.
+pub(crate) const R9_ENTRY_FNS: [(&str, &str); 13] = [
+    ("crates/bench/src/bin/slo.rs", "summary_json"),
+    ("crates/bench/src/scale.rs", "sched_cell_json"),
+    ("crates/bench/src/scale.rs", "summary_json"),
+    ("crates/bench/src/scale.rs", "world_cell_json"),
+    ("crates/faults/src/chaos.rs", "reports_to_json"),
+    ("crates/faults/src/chaos.rs", "to_json"),
+    ("crates/sim/src/metrics.rs", "to_json"),
+    ("crates/sim/src/metrics.rs", "to_json_indented"),
+    ("crates/sim/src/trace.rs", "write_json_fields"),
+    ("crates/workload/src/slo.rs", "fold_report"),
+    ("crates/workload/src/slo.rs", "reports_to_json"),
+    ("crates/workload/src/slo.rs", "to_json"),
+    ("crates/workload/src/slo.rs", "write_json"),
+];
+
+/// Runs every applicable per-line rule over one file. `rel` is the
+/// repo-relative path with forward slashes; `parsed` supplies the
+/// enclosing-symbol attribution for each finding.
+pub fn scan(rel: &str, view: &FileView, parsed: &ParsedFile) -> Vec<Finding> {
     // Test code, fixtures, benches and examples are out of scope: the
     // rules guard production invariants.
     if ["/tests/", "/benches/", "/examples/", "/fixtures/"]
@@ -142,6 +223,8 @@ pub fn scan(rel: &str, view: &FileView) -> Vec<Finding> {
                 line: idx + 1,
                 col: col + 1,
                 snippet: view.raw_lines[idx].trim().to_string(),
+                symbol: parsed.symbol_for_line(idx as u32).to_string(),
+                chain: Vec::new(),
                 message,
             });
         };
@@ -393,7 +476,10 @@ mod tests {
     use super::*;
 
     fn scan_str(rel: &str, src: &str) -> Vec<Finding> {
-        scan(rel, &FileView::new(src))
+        let view = FileView::new(src);
+        let toks = crate::lexer::lex(&view);
+        let parsed = crate::parse::parse(&toks, view.test_start);
+        scan(rel, &view, &parsed)
     }
 
     #[test]

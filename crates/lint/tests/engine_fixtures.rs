@@ -164,3 +164,149 @@ fn fixtures_are_invisible_to_a_workspace_scan() {
     let f = scan_fixture("r1_bad.rs", "crates/lint/tests/fixtures/r1_bad.rs");
     assert!(f.is_empty(), "{f:#?}");
 }
+
+// ---- graph rules (R7–R9): fixture + entry stub pairs ------------------
+//
+// The graph rules need an entry point *calling into* the fixture, so
+// each fixture is scanned as a two-file workspace: the fixture at a
+// non-entry path plus a small entry stub. The chains asserted here are
+// the diagnostics the CLI prints on a `via` line.
+
+fn scan_fixture_with_entry(
+    name: &str,
+    pretend_path: &str,
+    entry_path: &str,
+    entry_src: &str,
+) -> Vec<Finding> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let ws = ftgm_lint::graph::Workspace::from_sources(
+        vec![
+            (pretend_path.to_string(), content),
+            (entry_path.to_string(), entry_src.to_string()),
+        ],
+        &[],
+    );
+    ftgm_lint::scan_ws(&ws)
+}
+
+fn chain_symbols(f: &Finding) -> Vec<&str> {
+    f.chain.iter().map(|h| h.symbol.as_str()).collect()
+}
+
+const R7_ENTRY_STUB: &str = "pub fn ftd_check(state: &[u8]) -> u8 { verify(state) }\n";
+
+#[test]
+fn r7_bad_reports_full_chain_from_entry_to_panic() {
+    let f = scan_fixture_with_entry(
+        "r7_bad.rs",
+        "crates/net/src/verify.rs",
+        "crates/core/src/ftd.rs",
+        R7_ENTRY_STUB,
+    );
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert_all_rule(&f, rules::TRANSITIVE_PANIC);
+    for x in &f {
+        assert_eq!(x.symbol, "helper_b");
+        assert_eq!(
+            chain_symbols(x),
+            vec!["ftd_check", "verify", "helper_a", "helper_b"]
+        );
+        assert!(
+            x.message.contains("3 calls below entry `ftd_check`"),
+            "{}",
+            x.message
+        );
+    }
+    assert!(f.iter().any(|x| x.snippet.contains("unwrap")));
+    assert!(f.iter().any(|x| x.snippet.contains("state[1]")));
+}
+
+#[test]
+fn r7_good_is_clean_including_the_inline_allow() {
+    let f = scan_fixture_with_entry(
+        "r7_good.rs",
+        "crates/net/src/verify.rs",
+        "crates/core/src/ftd.rs",
+        R7_ENTRY_STUB,
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn r7_bad_is_inert_without_an_entry_calling_it() {
+    // The same panicking helpers, unreachable from any recovery entry:
+    // the pass must stay silent (that is the whole point of reachability
+    // over a file allowlist).
+    let f = scan_fixture("r7_bad.rs", "crates/net/src/verify.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+const R8_ENTRY_STUB: &str = "pub fn ftd_tick(now: u64) -> u64 { probe(now) }\n";
+
+#[test]
+fn r8_bad_reports_taint_with_chains_across_the_r2_boundary() {
+    let f = scan_fixture_with_entry(
+        "r8_bad.rs",
+        "crates/host/src/timing.rs",
+        "crates/core/src/ftd.rs",
+        R8_ENTRY_STUB,
+    );
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert_all_rule(&f, rules::DETERMINISM_TAINT);
+    let clock = f.iter().find(|x| x.symbol == "wall_clock").expect("clock finding");
+    assert_eq!(
+        chain_symbols(clock),
+        vec!["ftd_tick", "probe", "sample", "wall_clock"]
+    );
+    let map = f.iter().find(|x| x.symbol == "tally").expect("map finding");
+    assert_eq!(
+        chain_symbols(map),
+        vec!["ftd_tick", "probe", "sample", "wall_clock", "tally"]
+    );
+}
+
+#[test]
+fn r8_good_is_clean() {
+    let f = scan_fixture_with_entry(
+        "r8_good.rs",
+        "crates/host/src/timing.rs",
+        "crates/core/src/ftd.rs",
+        R8_ENTRY_STUB,
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+const R9_ENTRY_STUB: &str =
+    "pub fn to_jsonl(rows: &[u64]) -> String { fmt_row(rows) }\n";
+
+#[test]
+fn r9_bad_reports_floats_below_the_serializer_surface() {
+    let f = scan_fixture_with_entry(
+        "r9_bad.rs",
+        "crates/host/src/fmt.rs",
+        "crates/sim/src/export.rs",
+        R9_ENTRY_STUB,
+    );
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert_all_rule(&f, rules::FLOAT_IN_DETERMINISTIC_PATH);
+    for x in &f {
+        assert_eq!(x.symbol, "scale");
+        assert_eq!(chain_symbols(x), vec!["to_jsonl", "fmt_row", "scale"]);
+        assert!(x.message.contains("to_jsonl"), "{}", x.message);
+    }
+}
+
+#[test]
+fn r9_good_is_clean() {
+    let f = scan_fixture_with_entry(
+        "r9_good.rs",
+        "crates/host/src/fmt.rs",
+        "crates/sim/src/export.rs",
+        R9_ENTRY_STUB,
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}

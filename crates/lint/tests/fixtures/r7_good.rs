@@ -1,0 +1,22 @@
+// Fixture: the sanctioned alternative to r7_bad.rs — same call shape,
+// but every helper degrades instead of panicking, plus one vetted site
+// opted out with an inline allow. Expected findings: 0.
+
+pub fn verify(state: &[u8]) -> u8 {
+    helper_a(state).wrapping_add(startup_only(state))
+}
+
+fn helper_a(state: &[u8]) -> u8 {
+    helper_b(state)
+}
+
+fn helper_b(state: &[u8]) -> u8 {
+    let head = state.first().copied().unwrap_or(0);
+    let tail = state.get(1).copied().unwrap_or(0);
+    head.wrapping_add(tail)
+}
+
+fn startup_only(state: &[u8]) -> u8 {
+    // A vetted site can opt out per-rule without touching the baseline.
+    state[0] // lint:allow(transitive-panic): validated at config load
+}

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned alternative to r8_bad.rs — time comes from
+// the simulated clock parameter and maps are ordered. Expected: 0.
+
+pub fn probe(now_ns: u64) -> u64 {
+    now_ns.wrapping_add(sample(now_ns))
+}
+
+fn sample(now_ns: u64) -> u64 {
+    now_ns ^ tally(now_ns)
+}
+
+fn tally(now_ns: u64) -> u64 {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert(1u64, now_ns);
+    m.len() as u64
+}

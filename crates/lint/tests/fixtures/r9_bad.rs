@@ -1,0 +1,15 @@
+// Fixture: R9 (float-in-deterministic-path). Scanned as if at
+// crates/host/src/fmt.rs, paired with an entry stub at
+// crates/sim/src/export.rs (the byte-stable export surface — every fn
+// there is an R9 entry) whose `to_jsonl` calls `fmt_row`. Expected:
+// 2 findings in scale (f64 cast + float literal), chain
+// to_jsonl → fmt_row → scale.
+
+pub fn fmt_row(rows: &[u64]) -> String {
+    let mid = scale(rows.len());
+    format!("{{\"mid\": {mid}}}")
+}
+
+fn scale(n: usize) -> u64 {
+    (n as f64 * 0.5) as u64
+}

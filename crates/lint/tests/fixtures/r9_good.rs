@@ -1,0 +1,11 @@
+// Fixture: the sanctioned alternative to r9_bad.rs — the midpoint is
+// integer arithmetic, so the export stays byte-stable. Expected: 0.
+
+pub fn fmt_row(rows: &[u64]) -> String {
+    let mid = scale(rows.len());
+    format!("{{\"mid\": {mid}}}")
+}
+
+fn scale(n: usize) -> u64 {
+    (n as u64) / 2
+}

@@ -103,6 +103,33 @@ pub struct AckOutcome {
     pub progressed: bool,
 }
 
+/// A sequence cursor for the chunk currently being staged. The MCP's
+/// send loop walks one message at a time; this type owns the "next
+/// chunk sequence" so that every sequence-number mutation lives in this
+/// module (the seqnum-discipline lint's accessor surface) and stays in
+/// lock-step with [`SenderStream::record_send`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkCursor {
+    next_seq: u32,
+}
+
+impl ChunkCursor {
+    /// A cursor whose next chunk takes sequence `first_seq`.
+    pub fn new(first_seq: u32) -> ChunkCursor {
+        ChunkCursor { next_seq: first_seq }
+    }
+
+    /// The sequence number the next staged chunk will carry.
+    pub fn seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Consumes the current sequence number and steps to the next one.
+    pub fn advance(&mut self) {
+        self.next_seq = self.next_seq.wrapping_add(1);
+    }
+}
+
 /// Sender-side state for one stream.
 #[derive(Clone, Debug)]
 pub struct SenderStream {

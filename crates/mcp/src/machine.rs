@@ -35,7 +35,9 @@ use ftgm_net::{NodeId, RouteTable};
 use ftgm_sim::{SimDuration, SimTime};
 
 use crate::firmware::{layout, FirmwareImage};
-use crate::gobackn::{ChunkRecord, ReceiverStream, RxVerdict, SenderStream, StreamKey};
+use crate::gobackn::{
+    ChunkCursor, ChunkRecord, ReceiverStream, RxVerdict, SenderStream, StreamKey,
+};
 use crate::packet::{flags, stream_word, Header, PacketType};
 use crate::params::{McpParams, Variant};
 
@@ -178,7 +180,9 @@ impl HdmaJob {
 struct ActiveSend {
     desc: SendDesc,
     next_offset: u32,
-    next_seq: u32,
+    /// Sequence cursor for the chunk being staged; lives in gobackn.rs
+    /// so sequence mutations stay inside the accessor surface.
+    cursor: ChunkCursor,
 }
 
 /// Message reassembly state at the receiver.
@@ -1097,7 +1101,7 @@ impl McpMachine {
             self.active_send = Some(ActiveSend {
                 desc,
                 next_offset: 0,
-                next_seq: first_seq,
+                cursor: ChunkCursor::new(first_seq),
             });
         }
         let Some(slab) = self.free_tx_slabs.pop() else {
@@ -1113,9 +1117,9 @@ impl McpMachine {
         let off = active.next_offset;
         let len = (active.desc.len - off).min(self.params.max_chunk);
         let last = off + len == active.desc.len;
-        let syn = syn_seq == Some(active.next_seq);
+        let syn = syn_seq == Some(active.cursor.seq());
         let rec = ChunkRecord {
-            seq: active.next_seq,
+            seq: active.cursor.seq(),
             msg_id: active.desc.token_id,
             slab,
             len,
@@ -1130,7 +1134,7 @@ impl McpMachine {
         };
         let host_addr = active.desc.host_addr + off as u64;
         active.next_offset += len;
-        active.next_seq = active.next_seq.wrapping_add(1);
+        active.cursor.advance();
         if last {
             self.active_send = None;
         }

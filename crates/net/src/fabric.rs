@@ -70,6 +70,9 @@ pub enum DropReason {
     TooManyHops,
     /// A link on the path is administratively down.
     LinkDown,
+    /// The walk landed on a link that does not include the current
+    /// endpoint (corrupt topology or route table).
+    BadLink,
     /// The link fault model dropped the packet.
     FaultDrop,
 }
@@ -268,7 +271,7 @@ impl Fabric {
             }
             let dir = if self.topo.links()[link].a == at { 0 } else { 1 };
             channels.push((link, dir));
-            let far = self.topo.peer(link, at);
+            let far = self.topo.peer(link, at).ok_or(DropReason::BadLink)?;
             match far {
                 Endpoint::Nic(n) => {
                     if route_pos != route.len() {

@@ -111,7 +111,9 @@ impl Mapper {
         let mut visited_nic = vec![false; topo.node_count()];
         visited_nic[src.0 as usize] = true;
         let mut queue: VecDeque<(Endpoint, Route)> = VecDeque::new();
-        let entry = topo.peer(first_link, Endpoint::Nic(src));
+        let Some(entry) = topo.peer(first_link, Endpoint::Nic(src)) else {
+            return table;
+        };
         queue.push_back((entry, Vec::new()));
         while let Some((at, route)) = queue.pop_front() {
             match at {
@@ -134,7 +136,9 @@ impl Mapper {
                             continue;
                         }
                         let here = Endpoint::SwitchPort { switch, port };
-                        let far = topo.peer(link, here);
+                        let Some(far) = topo.peer(link, here) else {
+                            continue;
+                        };
                         let mut r = route.clone();
                         r.push(port);
                         queue.push_back((far, r));

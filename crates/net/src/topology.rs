@@ -116,19 +116,19 @@ impl Topology {
             .flatten()
     }
 
-    /// The endpoint on the far side of `link` from `from`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `from` is not one of the link's endpoints.
-    pub fn peer(&self, link: usize, from: Endpoint) -> Endpoint {
-        let l = self.links[link];
+    /// The endpoint on the far side of `link` from `from`, or `None`
+    /// when the link id is out of range or `from` is not one of the
+    /// link's endpoints. Fallible on purpose: the mapper walks links
+    /// while recomputing routes after a fault, i.e. on the recovery
+    /// path, where a corrupt walk must degrade and not panic.
+    pub fn peer(&self, link: usize, from: Endpoint) -> Option<Endpoint> {
+        let l = self.links.get(link)?;
         if l.a == from {
-            l.b
+            Some(l.b)
         } else if l.b == from {
-            l.a
+            Some(l.a)
         } else {
-            panic!("{from} is not an endpoint of link {link}")
+            None
         }
     }
 
@@ -475,19 +475,19 @@ mod tests {
         let far = t.peer(l, Endpoint::Nic(NodeId(0)));
         assert_eq!(
             far,
-            Endpoint::SwitchPort {
+            Some(Endpoint::SwitchPort {
                 switch: SwitchId(0),
                 port: 0
-            }
+            })
         );
     }
 
     #[test]
-    #[should_panic(expected = "not an endpoint")]
     fn peer_rejects_foreign_endpoint() {
         let t = Topology::two_nodes_one_switch();
         let l = t.nic_link(NodeId(0)).unwrap();
-        t.peer(l, Endpoint::Nic(NodeId(1)));
+        assert_eq!(t.peer(l, Endpoint::Nic(NodeId(1))), None);
+        assert_eq!(t.peer(usize::MAX, Endpoint::Nic(NodeId(0))), None);
     }
 
     #[test]
@@ -532,10 +532,10 @@ mod tests {
         );
         assert_eq!(
             far,
-            Endpoint::SwitchPort {
+            Some(Endpoint::SwitchPort {
                 switch: SwitchId(0),
                 port: 2
-            }
+            })
         );
     }
 

@@ -95,22 +95,36 @@ impl Samples {
     }
 
     /// The nearest-rank `q`-quantile (see the type docs for edge cases).
+    ///
+    /// Convenience wrapper over [`Samples::quantile_permille`] for
+    /// display code; anything feeding a byte-stable export must call
+    /// the per-mille form directly so the path stays integer-only.
     pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        // NaN fails the comparison and degrades to the minimum, exactly
+        // as the f64 version always did.
+        let p = if q > 0.0 {
+            ((q * 1000.0).ceil() as u64).min(1000) as u32
+        } else {
+            0
+        };
+        self.quantile_permille(p)
+    }
+
+    /// The nearest-rank quantile at `p`/1000, in pure integer
+    /// arithmetic: the smallest sample whose cumulative rank covers a
+    /// `p` per-mille share. `p == 0` is the minimum; `p >= 1000` the
+    /// maximum.
+    pub fn quantile_permille(&self, p: u32) -> Option<SimDuration> {
         if self.values.is_empty() {
             return None;
         }
         let mut v = self.values.clone();
         v.sort_unstable();
         let n = v.len();
-        // Nearest-rank: the smallest sample with cumulative probability
-        // >= q. `q <= 0` (and NaN, which fails the comparison) takes the
-        // minimum; ranks past the end clamp to the maximum.
-        let idx = if q > 0.0 {
-            let rank = (q * n as f64).ceil() as usize;
-            rank.saturating_sub(1).min(n - 1)
-        } else {
-            0
-        };
+        // ceil(p * n / 1000), computed in u64 so a billion samples at
+        // p=1000 cannot overflow.
+        let rank = (u64::from(p) * n as u64).div_ceil(1000) as usize;
+        let idx = rank.saturating_sub(1).min(n - 1);
         v.get(idx).copied().map(SimDuration::from_nanos)
     }
 
@@ -293,12 +307,13 @@ impl Histogram {
         }
     }
 
-    /// Mean sample value (0.0 when empty); for display only.
-    pub fn mean(&self) -> f64 {
+    /// Mean sample value, rounded down (0 when empty). Integer on
+    /// purpose: histograms feed the byte-stable JSON exports.
+    pub fn mean(&self) -> u64 {
         if self.count == 0 {
-            0.0
+            0
         } else {
-            self.sum as f64 / self.count as f64
+            self.sum / self.count
         }
     }
 

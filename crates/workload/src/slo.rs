@@ -324,9 +324,11 @@ pub fn fold_report(
 
     let mut phases = Vec::with_capacity(nphases);
     for (i, &(pname, start, end)) in windows.iter().enumerate() {
-        let q = |q: f64| {
+        // Per-mille quantiles keep this whole fold integer-only: the
+        // report is byte-stable JSON, so no float may touch it.
+        let q = |p: u32| {
             lat.get(i)
-                .and_then(|s| s.quantile(q))
+                .and_then(|s| s.quantile_permille(p))
                 .map_or(0, |d| d.as_nanos())
         };
         let done = completed.get(i).copied().unwrap_or(0);
@@ -343,10 +345,10 @@ pub fn fold_report(
                 phase_bytes,
                 SimDuration::from_nanos(end.saturating_sub(start)),
             ),
-            p50_ns: q(0.50),
-            p95_ns: q(0.95),
-            p99_ns: q(0.99),
-            p999_ns: q(0.999),
+            p50_ns: q(500),
+            p95_ns: q(950),
+            p99_ns: q(990),
+            p999_ns: q(999),
             mean_ns: lat
                 .get(i)
                 .and_then(|s| s.mean())
