@@ -48,6 +48,12 @@ step lint 120 cargo run -q -p ftgm-lint -- --deny-new --quiet \
 # BENCH_slo.json (plus results/slo_summary.json) on every green build
 # and exits non-zero on any SLO-oracle violation.
 step slo-bench 900 cargo run --release -q -p ftgm-bench --bin slo
+# Correlated-fault sweep: {star8, ring8, fat_tree64} x {two-NIC hang,
+# switch death, flap-during-recovery, cascade} under the zone
+# coordinator. Rewrites BENCH_chaos.json on every green build and exits
+# non-zero if any scenario violates an oracle or the fat-tree
+# spine-death cell fails to restore goodput by reroute.
+step chaos-bench 900 cargo run --release -q -p ftgm-bench --bin chaosx
 # Scale-bench smoke: the 8-node scheduler and world cells only, as a
 # differential gate (calendar queue vs heap oracle checksums, recovery
 # blackout bound). The full {8,64,256} sweep that rewrites
@@ -76,6 +82,14 @@ for key in '"schema": "ftgm-scale-v1"' '"sched_cells"' '"world_cells"' \
         exit 1
     }
 done
+for key in '"schema": "ftgm-chaos-v1"' '"scenarios"' '"verdict"' \
+    '"resolutions"' '"zone_reroutes"' '"max_blackout_ns"' \
+    '"fabric_drops"' '"bad_link_drops"' '"violations": 0'; do
+    grep -q "$key" BENCH_chaos.json || {
+        echo "BENCH_chaos.json: missing required key $key" >&2
+        exit 1
+    }
+done
 # The lint report is a build artifact with the same contract as the
 # bench summaries: stable schema, zero unbaselined findings, and no
 # float values (counts and 1-based source positions only).
@@ -86,7 +100,7 @@ for key in '"schema": "ftgm-lint-v1"' '"rules"' '"new_count": 0' \
         exit 1
     }
 done
-for f in BENCH_slo.json BENCH_scale.json results/lint_report.json; do
+for f in BENCH_slo.json BENCH_scale.json BENCH_chaos.json results/lint_report.json; do
     if grep -Eq ':[[:space:]]*-?[0-9]+\.' "$f"; then
         echo "$f: non-integer numeric value found" >&2
         exit 1

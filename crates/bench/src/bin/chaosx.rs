@@ -1,0 +1,182 @@
+//! Correlated-fault sweep: the `{star8, ring8, fat_tree64}` ×
+//! `{two-NIC hang, switch death, flap-during-recovery, cascade}` matrix
+//! (plus the stall-escalation scenario) from
+//! `ftgm_faults::chaos::correlated_scenarios`, run under the zone
+//! coordinator and rolled up into `BENCH_chaos.json`.
+//!
+//! Usage: `chaosx [seed] [out.json]` (defaults: seed 2003,
+//! `BENCH_chaos.json`). Identical seeds reproduce identical files
+//! byte-for-byte; the JSON is integer-only so CI can grep-gate it.
+//! Exit status 2 means an oracle was violated somewhere — or the
+//! fat-tree spine-death scenario failed to restore goodput by reroute.
+
+use ftgm_faults::campaign::run_scenarios_parallel;
+use ftgm_faults::chaos::{correlated_scenarios, ScenarioArtifacts};
+use ftgm_faults::classify::{classify_scenario, Resolution, ScenarioVerdict};
+use ftgm_sim::DropKind;
+
+/// Scenario names are `<topology>-<fault>`; split at the first dash.
+fn split_name(name: &str) -> (&str, &str) {
+    match name.split_once('-') {
+        Some((topo, fault)) => (topo, fault),
+        None => (name, ""),
+    }
+}
+
+fn verdict(a: &ScenarioArtifacts) -> ScenarioVerdict {
+    let r = &a.report;
+    let escalations: u64 = r.nodes.iter().map(|n| n.escalations).sum();
+    let zone_reroutes = r.metrics.counter("ZoneRerouteTriggered");
+    classify_scenario(r.ok(), escalations, zone_reroutes)
+}
+
+/// The whole sweep as one integer-only JSON document (the
+/// `BENCH_chaos.json` schema; keep keys in sync with `ci.sh`'s greps and
+/// `tests/determinism.rs`'s schema check).
+fn summary_json(seed: u64, artifacts: &[ScenarioArtifacts]) -> String {
+    let total_violations: u64 = artifacts
+        .iter()
+        .map(|a| a.report.violations.len() as u64)
+        .sum();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"ftgm-chaos-v1\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"violations\": {total_violations},\n"));
+    out.push_str("  \"scenarios\": [");
+    for (i, a) in artifacts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let r = &a.report;
+        let (topo, fault) = split_name(&r.scenario);
+        let mut res = [0u64; 5];
+        for n in &r.nodes {
+            let slot = match n.resolution {
+                Resolution::Healthy => 0,
+                Resolution::Recovered => 1,
+                Resolution::Escalated => 2,
+                Resolution::StrandedHung => 3,
+                Resolution::StuckRecovering => 4,
+            };
+            if let Some(c) = res.get_mut(slot) {
+                *c += 1;
+            }
+        }
+        let recoveries: u64 = r.nodes.iter().map(|n| n.recoveries).sum();
+        let escalations: u64 = r.nodes.iter().map(|n| n.escalations).sum();
+        let delivered: u64 = r.flows.iter().map(|f| f.delivered).sum();
+        let max_blackout_ns: u64 = r.flows.iter().map(|f| f.blackout_ns).max().unwrap_or(0);
+        let cascades = a.trace_jsonl.matches("\"trigger\":\"cascade\"").count() as u64;
+        out.push_str(&format!(
+            "\n    {{\n      \"name\": \"{}\",\n      \"topology\": \"{}\",\n      \
+             \"fault\": \"{}\",\n      \"verdict\": \"{}\",\n      \"resolutions\": \
+             {{\"healthy\": {}, \"recovered\": {}, \"escalated\": {}, \"stranded_hung\": {}, \
+             \"stuck_recovering\": {}}},\n      \"recoveries\": {},\n      \
+             \"escalations\": {},\n      \"stalls\": {},\n      \"cascades\": {},\n      \
+             \"isolations\": {},\n      \"zone_reroutes\": {},\n      \
+             \"fabric_drops\": {},\n      \"bad_link_drops\": {},\n      \
+             \"max_blackout_ns\": {},\n      \"delivered\": {},\n      \
+             \"violations\": {}\n    }}",
+            r.scenario,
+            topo,
+            fault,
+            verdict(a),
+            res[0],
+            res[1],
+            res[2],
+            res[3],
+            res[4],
+            recoveries,
+            escalations,
+            r.metrics.counter("PeerStallDetected"),
+            cascades,
+            r.metrics.counter("PeerIsolated"),
+            r.metrics.counter("ZoneRerouteTriggered"),
+            r.metrics.fabric_drops_total(),
+            r.metrics.fabric_drops(DropKind::BadLink),
+            max_blackout_ns,
+            delivered,
+            r.violations.len()
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2003);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+
+    let scenarios = correlated_scenarios();
+    eprintln!(
+        "chaosx: {} correlated scenarios (seed {seed})…",
+        scenarios.len()
+    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let artifacts = run_scenarios_parallel(&scenarios, seed, threads);
+
+    println!("\nCorrelated-fault sweep (seed {seed})\n");
+    println!(
+        "{:<28} {:>9} {:>10} {:>11} {:>8} {:>13} {:>10}",
+        "scenario", "verdict", "recoveries", "escalations", "reroutes", "blackout(ms)", "violations"
+    );
+    let mut failed = 0usize;
+    let mut goodput_lost = false;
+    for a in &artifacts {
+        let r = &a.report;
+        let v = verdict(a);
+        if !v.acceptable() {
+            failed += 1;
+        }
+        let max_blackout_ns: u64 = r.flows.iter().map(|f| f.blackout_ns).max().unwrap_or(0);
+        println!(
+            "{:<28} {:>9} {:>10} {:>11} {:>8} {:>13} {:>10}",
+            r.scenario,
+            v.label(),
+            r.nodes.iter().map(|n| n.recoveries).sum::<u64>(),
+            r.nodes.iter().map(|n| n.escalations).sum::<u64>(),
+            r.metrics.counter("ZoneRerouteTriggered"),
+            max_blackout_ns / 1_000_000,
+            r.violations.len()
+        );
+        for vi in &r.violations {
+            println!("    violation: {vi}");
+        }
+        // Acceptance: spine death on the fat tree must be *survived by
+        // reroute* — every flow between surviving endpoints moves again.
+        if r.scenario == "fat_tree64-switch-death" {
+            for f in &r.flows {
+                if f.progress == 0 {
+                    println!(
+                        "    GOODPUT LOST: flow {}->{} made no progress after reroute",
+                        f.src, f.dst
+                    );
+                    goodput_lost = true;
+                }
+            }
+        }
+    }
+    println!(
+        "\n{}/{} scenarios acceptable",
+        artifacts.len() - failed,
+        artifacts.len()
+    );
+
+    let json = summary_json(seed, &artifacts);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+
+    if failed > 0 || goodput_lost {
+        std::process::exit(2);
+    }
+}

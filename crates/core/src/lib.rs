@@ -41,6 +41,7 @@
 //! assert_eq!(ft.recoveries(NodeId(1)), 1);
 //! ```
 
+pub mod coordinator;
 pub mod ftd;
 pub mod recovery;
 pub mod timeline;
@@ -50,9 +51,10 @@ use std::rc::Rc;
 
 use ftgm_gm::World;
 use ftgm_net::NodeId;
-use ftgm_sim::{SimDuration, TraceKind};
+use ftgm_sim::{SimDuration, SimTime, TraceKind};
 
 use ftd::{FtdPhase, FtdState, FTD_WAKE_LATENCY};
+pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use ftd::RetryPolicy;
 pub use recovery::{restore_port_state, RestoreSummary, PER_PROCESS_RECOVERY};
 pub use timeline::RecoveryReport;
@@ -431,6 +433,59 @@ impl FtSystem {
     /// Escalations to `InterfaceDead` on `node`.
     pub fn escalations(&self, node: NodeId) -> u64 {
         self.states.borrow()[node.0 as usize].escalations
+    }
+
+    /// When the current recovery episode on `node` was detected
+    /// (`None` while the FTD sleeps). The zone coordinator compares this
+    /// against its stall bound.
+    pub fn detected_at(&self, node: NodeId) -> Option<SimTime> {
+        let st = self.states.borrow();
+        match st.get(node.0 as usize) {
+            Some(s) if s.busy => s.detected_at,
+            _ => None,
+        }
+    }
+
+    /// Number of nodes currently inside a recovery (busy FTDs). The zone
+    /// coordinator's cascade detector watches this.
+    pub fn busy_count(&self) -> usize {
+        self.states.borrow().iter().filter(|s| s.busy).count()
+    }
+
+    /// Zone-coordinator escalation for a node the residual fabric can no
+    /// longer reach: same terminal transition as retry exhaustion
+    /// ([`TraceKind::Escalated`], interrupts masked, outstanding sends
+    /// failed, interface marked dead) but driven by *reachability*, not
+    /// by the node's own FTD. Idempotent: a node already dead is left
+    /// alone.
+    pub fn escalate_isolated(&self, world: &mut World, node: NodeId) {
+        let n = node.0 as usize;
+        {
+            let st = self.states.borrow();
+            match st.get(n) {
+                Some(s) if !s.dead => {}
+                _ => return,
+            }
+        }
+        let now = world.now();
+        let attempts = self.states.borrow()[n].attempts;
+        world
+            .trace
+            .emit(now, TraceKind::Escalated { node: node.0, attempts });
+        world.nodes[n].host.driver.set_interrupts_enabled(false);
+        let failed = world.fail_outstanding_sends(node);
+        world.trace.emit(
+            now,
+            TraceKind::OutstandingSendsFailed { node: node.0, count: failed as u64 },
+        );
+        let mut st = self.states.borrow_mut();
+        st[n].dead = true;
+        st[n].busy = false;
+        st[n].pending_reverify = false;
+        st[n].escalations += 1;
+        let pid = st[n].pid;
+        drop(st);
+        world.nodes[n].host.procs.sleep(pid);
     }
 
     /// The retry/escalation policy this system was installed with.

@@ -23,11 +23,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use ftgm_core::ftd::FtdPhase;
-use ftgm_core::{FtSystem, RetryPolicy};
+use ftgm_core::{Coordinator, CoordinatorConfig, FtSystem, RetryPolicy};
 use ftgm_gm::apps::{PatternReceiver, PatternSender, TrafficStats};
 use ftgm_gm::{World, WorldConfig};
 use ftgm_net::fabric::LinkFaults;
-use ftgm_net::NodeId;
+use ftgm_net::{reroute, NodeId, SwitchId};
 use ftgm_sim::{export, Metrics, SimDuration, SimRng, TraceKind};
 
 use crate::classify::{classify_resolution, Resolution};
@@ -157,6 +157,33 @@ pub enum ChaosAction {
         /// Window length.
         duration: SimDuration,
     },
+    /// Kill a whole switch: every link cabled to it goes down and stays
+    /// down. Only mapper-driven reroute (and, where the residual fabric
+    /// cannot reach a host at all, coordinator escalation) can respond.
+    SwitchDeath {
+        /// Switch to kill.
+        switch: u16,
+    },
+    /// Oscillate a node's NIC cable: down for `period`, up for `period`,
+    /// `count` times — the flap pattern that punishes any reroute logic
+    /// lacking a debounce.
+    LinkFlap {
+        /// Node whose NIC cable flaps.
+        node: u16,
+        /// Half-cycle length (time spent down, then time spent up).
+        period: SimDuration,
+        /// Number of down/up cycles.
+        count: u32,
+    },
+    /// Hang several network processors nearly at once (`skew` apart, in
+    /// listed order) — the correlated multi-NIC failure mode a
+    /// single-node FTD cannot see coming.
+    CorrelatedHang {
+        /// Nodes to hang, in firing order.
+        nodes: Vec<u16>,
+        /// Delay between consecutive hangs.
+        skew: SimDuration,
+    },
 }
 
 /// An action fired at an absolute offset after the traffic warm-up.
@@ -201,6 +228,13 @@ pub struct ChaosScenario {
     pub horizon: SimDuration,
     /// FTD retry/escalation policy for this scenario.
     pub policy: RetryPolicy,
+    /// Install a DIR-net-style zone coordinator (backup agent) with this
+    /// config. `None` = the legacy single-node-FTD-only regime.
+    pub coordinator: Option<CoordinatorConfig>,
+    /// Opt-in blackout oracle: every flow whose endpoints both end
+    /// healthy/recovered must keep its longest delivery gap under this
+    /// bound (the paper's &lt;2 s recovery promise, observed end to end).
+    pub blackout_bound: Option<SimDuration>,
 }
 
 impl ChaosScenario {
@@ -215,6 +249,25 @@ impl ChaosScenario {
             warmup: SimDuration::from_ms(10),
             horizon: SimDuration::from_ms(2_500),
             policy: RetryPolicy::default(),
+            coordinator: None,
+            blackout_bound: None,
+        }
+    }
+
+    /// A coordinated scenario skeleton: the given shape and flows, a
+    /// default zone coordinator, and the 2 s blackout oracle armed.
+    pub fn coordinated(name: &str, topology: ChaosTopology, flows: Vec<Flow>) -> ChaosScenario {
+        ChaosScenario {
+            name: name.to_string(),
+            topology,
+            flows,
+            events: Vec::new(),
+            phase_triggers: Vec::new(),
+            warmup: SimDuration::from_ms(10),
+            horizon: SimDuration::from_ms(2_500),
+            policy: RetryPolicy::default(),
+            coordinator: Some(CoordinatorConfig::default()),
+            blackout_bound: Some(SimDuration::from_ms(2_000)),
         }
     }
 }
@@ -257,6 +310,10 @@ pub struct FlowReport {
     pub send_errors: u64,
     /// `InterfaceDead` events seen by either endpoint.
     pub iface_dead: u64,
+    /// Longest delivery gap the receiver observed (including the tail
+    /// from the last delivery to the end of the run; the whole run if
+    /// nothing was ever delivered). The blackout oracle's input.
+    pub blackout_ns: u64,
 }
 
 /// A completed scenario run: per-node and per-flow results plus every
@@ -317,9 +374,10 @@ impl ChaosReport {
             }
             out.push_str(&format!(
                 "\n    {{\"src\": {}, \"dst\": {}, \"delivered\": {}, \"progress\": {}, \
-                 \"corrupt\": {}, \"misordered\": {}, \"send_errors\": {}, \"iface_dead\": {}}}",
+                 \"corrupt\": {}, \"misordered\": {}, \"send_errors\": {}, \"iface_dead\": {}, \
+                 \"blackout_ns\": {}}}",
                 f.src, f.dst, f.delivered, f.progress, f.corrupt, f.misordered, f.send_errors,
-                f.iface_dead
+                f.iface_dead, f.blackout_ns
             ));
         }
         out.push_str("\n  ],\n  \"violations\": [");
@@ -361,11 +419,7 @@ pub fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
             flip_random_bit(world, NodeId(*node), *target, rng);
         }
         ChaosAction::ForceHang { node } => {
-            let now = world.now();
-            world.trace.emit(now, TraceKind::ForcedHang { node: *node });
-            if let Some(n) = world.nodes.get_mut(*node as usize) {
-                n.mcp.force_hang();
-            }
+            force_hang_now(world, *node);
         }
         ChaosAction::NicLinkDown { node, duration } => {
             if let Some(link) = world.fabric.topology().nic_link(NodeId(*node)) {
@@ -397,7 +451,67 @@ pub fn apply_action(world: &mut World, action: &ChaosAction, rng: &mut SimRng) {
                 w.fabric.set_faults(None);
             });
         }
+        ChaosAction::SwitchDeath { switch } => {
+            let sw = SwitchId(*switch);
+            let links = reroute::switch_links(world.fabric.topology(), sw);
+            let now = world.now();
+            let mut killed = 0u32;
+            for link in links {
+                if world.fabric.link_is_up(link) {
+                    world.trace.emit(now, TraceKind::LinkDown { link });
+                    world.fabric.set_link_up(link, false);
+                    killed += 1;
+                }
+            }
+            world.trace.emit(
+                now,
+                TraceKind::SwitchKilled { switch: *switch, links: killed },
+            );
+        }
+        ChaosAction::LinkFlap { node, period, count } => {
+            if let Some(link) = world.fabric.topology().nic_link(NodeId(*node)) {
+                flap_step(world, link, *period, *count);
+            }
+        }
+        ChaosAction::CorrelatedHang { nodes, skew } => {
+            for (i, node) in nodes.iter().enumerate() {
+                let node = *node;
+                if i == 0 {
+                    force_hang_now(world, node);
+                } else {
+                    let delay =
+                        SimDuration::from_nanos(skew.as_nanos().saturating_mul(i as u64));
+                    world.schedule_call(delay, move |w| force_hang_now(w, node));
+                }
+            }
+        }
     }
+}
+
+/// Hangs `node`'s network processor right now, tracing the activation.
+fn force_hang_now(world: &mut World, node: u16) {
+    let now = world.now();
+    world.trace.emit(now, TraceKind::ForcedHang { node });
+    if let Some(n) = world.nodes.get_mut(node as usize) {
+        n.mcp.force_hang();
+    }
+}
+
+/// One down/up flap cycle on `link`, rescheduling itself `remaining - 1`
+/// more times.
+fn flap_step(world: &mut World, link: usize, period: SimDuration, remaining: u32) {
+    if remaining == 0 {
+        return;
+    }
+    let now = world.now();
+    world.trace.emit(now, TraceKind::LinkDown { link });
+    world.fabric.set_link_up(link, false);
+    world.schedule_call(period, move |w| {
+        let t = w.now();
+        w.trace.emit(t, TraceKind::LinkUp { link });
+        w.fabric.set_link_up(link, true);
+        w.schedule_call(period, move |w| flap_step(w, link, period, remaining - 1));
+    });
 }
 
 /// Executes one scenario. `seed` drives every random draw (bit positions,
@@ -440,6 +554,9 @@ fn run_scenario_core(scenario: &ChaosScenario, seed: u64) -> (ChaosReport, World
     config.trace = true;
     let mut world = scenario.topology.build(config);
     let ft = FtSystem::install_with_policy(&mut world, scenario.policy);
+    if let Some(coord_config) = scenario.coordinator {
+        let _coordinator = Coordinator::install(&mut world, &ft, coord_config);
+    }
 
     // One shared randomness source for all actions; draws happen in
     // deterministic simulation-event order.
@@ -532,6 +649,7 @@ fn run_scenario_core(scenario: &ChaosScenario, seed: u64) -> (ChaosReport, World
     }
 
     // Collect per-flow delivery results.
+    let end_ns = world.now().as_nanos();
     let mut flows = Vec::new();
     for (i, f) in scenario.flows.iter().enumerate() {
         let stats = flow_stats
@@ -539,6 +657,13 @@ fn run_scenario_core(scenario: &ChaosScenario, seed: u64) -> (ChaosReport, World
             .map(|s| s.borrow().clone())
             .unwrap_or_default();
         let before = baseline.get(i).copied().unwrap_or(0);
+        let blackout_ns = if stats.received_ok == 0 {
+            end_ns
+        } else {
+            stats
+                .max_gap_ns
+                .max(end_ns.saturating_sub(stats.last_ok_at_ns))
+        };
         flows.push(FlowReport {
             src: f.src,
             dst: f.dst,
@@ -548,6 +673,7 @@ fn run_scenario_core(scenario: &ChaosScenario, seed: u64) -> (ChaosReport, World
             misordered: stats.misordered,
             send_errors: stats.send_errors,
             iface_dead: stats.iface_dead,
+            blackout_ns,
         });
     }
 
@@ -602,6 +728,28 @@ fn run_scenario_core(scenario: &ChaosScenario, seed: u64) -> (ChaosReport, World
                 violations.push(format!(
                     "node {} escalated but no application saw an error",
                     n.node
+                ));
+            }
+        }
+    }
+    // 5. Blackout bound (opt-in): a flow between two surviving endpoints
+    //    must never starve longer than the configured bound — recovery
+    //    plus reroute stayed inside the paper's promise. Flows with an
+    //    escalated/stranded endpoint are judged by oracle 4 instead.
+    if let Some(bound) = scenario.blackout_bound {
+        let bound_ns = bound.as_nanos();
+        for f in &flows {
+            let survived = |id: u16| {
+                nodes.iter().any(|n| {
+                    n.node == id
+                        && (n.resolution == Resolution::Healthy
+                            || n.resolution == Resolution::Recovered)
+                })
+            };
+            if survived(f.src) && survived(f.dst) && f.blackout_ns >= bound_ns {
+                violations.push(format!(
+                    "flow {}->{}: blackout {}ns breaches the {}ns bound",
+                    f.src, f.dst, f.blackout_ns, bound_ns
                 ));
             }
         }
@@ -715,6 +863,218 @@ pub fn standard_scenarios() -> Vec<ChaosScenario> {
             corrupt_prob: 0.02,
             duration: SimDuration::from_ms(100),
         },
+    });
+    set.push(s);
+
+    set
+}
+
+/// The correlated-fault matrix: {star8, ring8, fat_tree64} crossed with
+/// {two-NIC hang, switch death, flap-during-recovery, cascade}, plus a
+/// stall-escalation scenario. Every scenario runs with the zone
+/// coordinator installed and (where both endpoints can survive) the 2 s
+/// blackout oracle armed — this is the set the `chaosx` bench sweeps
+/// into `BENCH_chaos.json`.
+pub fn correlated_scenarios() -> Vec<ChaosScenario> {
+    let star8 = ChaosTopology::Star(8);
+    let ring8 = ChaosTopology::Ring(8);
+    let ft64 = ChaosTopology::FatTree {
+        spines: 2,
+        leaves: 8,
+        hosts_per_leaf: 8,
+    };
+    let half_ms = SimDuration::from_us(500);
+    let mut set = Vec::new();
+
+    // -- two correlated NIC hangs (skewed half a millisecond apart) -----
+    let two_nic = |name: &str, topology, flows, nodes: [u16; 2]| {
+        let mut s = ChaosScenario::coordinated(name, topology, flows);
+        s.events.push(ChaosEvent {
+            at: SimDuration::from_ms(5),
+            action: ChaosAction::CorrelatedHang {
+                nodes: nodes.to_vec(),
+                skew: half_ms,
+            },
+        });
+        s
+    };
+    set.push(two_nic(
+        "star8-two-nic-hang",
+        star8,
+        vec![Flow::simple(0, 1), Flow::simple(2, 3), Flow::simple(4, 5)],
+        [1, 3],
+    ));
+    set.push(two_nic(
+        "ring8-two-nic-hang",
+        ring8,
+        vec![Flow::simple(0, 2), Flow::simple(5, 6), Flow::simple(3, 4)],
+        [2, 6],
+    ));
+    set.push(two_nic(
+        "fat_tree64-two-nic-hang",
+        ft64,
+        vec![Flow::simple(8, 0), Flow::simple(9, 17), Flow::simple(32, 40)],
+        [0, 9],
+    ));
+
+    // -- switch death ---------------------------------------------------
+    let switch_death = |name: &str, topology, flows, switch: u16| {
+        let mut s = ChaosScenario::coordinated(name, topology, flows);
+        s.events.push(ChaosEvent {
+            at: SimDuration::from_ms(5),
+            action: ChaosAction::SwitchDeath { switch },
+        });
+        s
+    };
+    // The star's only switch dies: the residual fabric is empty, so the
+    // coordinator must escalate every host (flows cover all eight so the
+    // loud-escalation oracle can see each one fail).
+    set.push(switch_death(
+        "star8-switch-death",
+        star8,
+        vec![
+            Flow::simple(0, 1),
+            Flow::simple(2, 3),
+            Flow::simple(4, 5),
+            Flow::simple(6, 7),
+        ],
+        0,
+    ));
+    // Ring switch 3 dies: node 3 is unreachable (escalated); 2->4 must
+    // reroute the long way around the cycle.
+    set.push(switch_death(
+        "ring8-switch-death",
+        ring8,
+        vec![Flow::simple(2, 4), Flow::simple(7, 3), Flow::simple(0, 1)],
+        3,
+    ));
+    // Spine 0 (switch id 8 = after the 8 leaves) dies: every cross-leaf
+    // route must move to spine 1; nobody escalates.
+    set.push(switch_death(
+        "fat_tree64-switch-death",
+        ft64,
+        vec![
+            Flow::simple(0, 8),
+            Flow::simple(17, 25),
+            Flow::simple(33, 41),
+            Flow::simple(48, 49),
+        ],
+        8,
+    ));
+
+    // -- a NIC link flapping while a recovery is in flight --------------
+    let flap_in_recovery = |name: &str, topology, flows, flapped: u16| {
+        let mut s = ChaosScenario::coordinated(name, topology, flows);
+        s.events.push(ChaosEvent {
+            at: SimDuration::from_ms(2),
+            action: ChaosAction::ForceHang { node: 0 },
+        });
+        s.phase_triggers.push(PhaseTrigger {
+            node: 0,
+            phase: FtdPhase::ReloadMcp,
+            action: ChaosAction::LinkFlap {
+                node: flapped,
+                period: SimDuration::from_ms(20),
+                count: 3,
+            },
+            remaining: 1,
+        });
+        s
+    };
+    set.push(flap_in_recovery(
+        "star8-flap-in-recovery",
+        star8,
+        vec![Flow::simple(1, 0), Flow::simple(2, 3), Flow::simple(4, 5)],
+        2,
+    ));
+    set.push(flap_in_recovery(
+        "ring8-flap-in-recovery",
+        ring8,
+        vec![Flow::simple(7, 0), Flow::simple(3, 4), Flow::simple(1, 2)],
+        4,
+    ));
+    set.push(flap_in_recovery(
+        "fat_tree64-flap-in-recovery",
+        ft64,
+        vec![Flow::simple(8, 0), Flow::simple(12, 20), Flow::simple(40, 33)],
+        12,
+    ));
+
+    // -- cascade: three skewed hangs plus a fourth triggered from inside
+    //    the first one's recovery ---------------------------------------
+    let cascade = |name: &str, topology, flows, first: [u16; 3], fourth: u16| {
+        let [lead, _, _] = first;
+        let mut s = ChaosScenario::coordinated(name, topology, flows);
+        s.events.push(ChaosEvent {
+            at: SimDuration::from_ms(5),
+            action: ChaosAction::CorrelatedHang {
+                nodes: first.to_vec(),
+                skew: half_ms,
+            },
+        });
+        s.phase_triggers.push(PhaseTrigger {
+            node: lead,
+            phase: FtdPhase::Reset,
+            action: ChaosAction::ForceHang { node: fourth },
+            remaining: 1,
+        });
+        s
+    };
+    set.push(cascade(
+        "star8-cascade",
+        star8,
+        vec![
+            Flow::simple(0, 1),
+            Flow::simple(2, 3),
+            Flow::simple(4, 5),
+            Flow::simple(6, 7),
+        ],
+        [1, 3, 5],
+        6,
+    ));
+    set.push(cascade(
+        "ring8-cascade",
+        ring8,
+        vec![
+            Flow::simple(0, 1),
+            Flow::simple(2, 3),
+            Flow::simple(4, 5),
+            Flow::simple(6, 7),
+        ],
+        [1, 3, 5],
+        7,
+    ));
+    set.push(cascade(
+        "fat_tree64-cascade",
+        ft64,
+        vec![
+            Flow::simple(1, 0),
+            Flow::simple(8, 17),
+            Flow::simple(16, 25),
+            Flow::simple(24, 33),
+            Flow::simple(40, 48),
+        ],
+        [0, 8, 16],
+        24,
+    ));
+
+    // -- a recovery that stalls (keeps failing verification) until the
+    //    peer observer flags it and the FTD finally escalates -----------
+    let mut s = ChaosScenario::coordinated(
+        "ring8-stall-escalates",
+        ring8,
+        vec![Flow::simple(1, 2), Flow::simple(5, 6)],
+    );
+    s.horizon = SimDuration::from_ms(3_500);
+    s.events.push(ChaosEvent {
+        at: SimDuration::from_ms(0),
+        action: ChaosAction::ForceHang { node: 2 },
+    });
+    s.phase_triggers.push(PhaseTrigger {
+        node: 2,
+        phase: FtdPhase::RestoreRoutes,
+        action: ChaosAction::ForceHang { node: 2 },
+        remaining: 3,
     });
     set.push(s);
 

@@ -220,6 +220,70 @@ pub fn classify_resolution(dead: bool, busy: bool, hung: bool, recoveries: u64) 
     Resolution::Healthy
 }
 
+/// How a whole chaos scenario ended, for the correlated-fault sweep's
+/// per-scenario reporting ([`Resolution`] is per-interface; this rolls a
+/// run's interfaces and oracles up into one word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ScenarioVerdict {
+    /// Every oracle held and no interface had to be written off: traffic
+    /// kept (or regained) its guarantees on the original or rerouted
+    /// fabric with nothing lost.
+    Survived,
+    /// Every oracle held and the zone coordinator had to install
+    /// alternate routes to make that true.
+    Rerouted,
+    /// Every oracle held but one or more interfaces ended loudly dead
+    /// (retry exhaustion or coordinator-declared isolation).
+    Escalated,
+    /// At least one oracle was violated — silent hang, delivery-guarantee
+    /// breach, missing error surfacing, or a blown blackout bound.
+    Violated,
+}
+
+impl ScenarioVerdict {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioVerdict::Survived => "survived",
+            ScenarioVerdict::Rerouted => "rerouted",
+            ScenarioVerdict::Escalated => "escalated",
+            ScenarioVerdict::Violated => "violated",
+        }
+    }
+
+    /// `true` unless an oracle was violated.
+    pub fn acceptable(self) -> bool {
+        match self {
+            ScenarioVerdict::Survived | ScenarioVerdict::Rerouted | ScenarioVerdict::Escalated => {
+                true
+            }
+            ScenarioVerdict::Violated => false,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Rolls a scenario run up into a [`ScenarioVerdict`] from its oracle
+/// outcome (`ok`), total interface escalations, and coordinator-driven
+/// zone reroutes.
+pub fn classify_scenario(ok: bool, escalations: u64, zone_reroutes: u64) -> ScenarioVerdict {
+    if !ok {
+        return ScenarioVerdict::Violated;
+    }
+    if escalations > 0 {
+        return ScenarioVerdict::Escalated;
+    }
+    if zone_reroutes > 0 {
+        return ScenarioVerdict::Rerouted;
+    }
+    ScenarioVerdict::Survived
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +405,17 @@ mod tests {
         assert!(Resolution::Escalated.acceptable());
         assert!(!Resolution::StrandedHung.acceptable());
         assert!(!Resolution::StuckRecovering.acceptable());
+    }
+
+    #[test]
+    fn scenario_verdict_rollup_prefers_worst_news() {
+        assert_eq!(classify_scenario(false, 0, 0), ScenarioVerdict::Violated);
+        assert_eq!(classify_scenario(false, 2, 5), ScenarioVerdict::Violated);
+        assert_eq!(classify_scenario(true, 1, 3), ScenarioVerdict::Escalated);
+        assert_eq!(classify_scenario(true, 0, 3), ScenarioVerdict::Rerouted);
+        assert_eq!(classify_scenario(true, 0, 0), ScenarioVerdict::Survived);
+        assert!(!ScenarioVerdict::Violated.acceptable());
+        assert!(ScenarioVerdict::Rerouted.acceptable());
     }
 
     #[test]

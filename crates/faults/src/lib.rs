@@ -25,11 +25,12 @@ pub mod inject;
 
 pub use campaign::{run_campaign, CampaignResult};
 pub use chaos::{
-    run_scenario, standard_scenarios, ChaosAction, ChaosEvent, ChaosReport, ChaosScenario,
-    ChaosTopology, Flow, PhaseTrigger,
+    correlated_scenarios, run_scenario, standard_scenarios, ChaosAction, ChaosEvent, ChaosReport,
+    ChaosScenario, ChaosTopology, Flow, PhaseTrigger,
 };
 pub use forensics::{analyze, FieldMatrix, InstrSensitivity};
 pub use classify::{
-    classify as classify_outcome, classify_resolution, Observables, Outcome, Resolution,
+    classify as classify_outcome, classify_resolution, classify_scenario, Observables, Outcome,
+    Resolution, ScenarioVerdict,
 };
 pub use inject::{flip_random_bit, run_one, target_range, InjectionTarget, RunConfig, RunResult};

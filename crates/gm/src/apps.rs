@@ -302,6 +302,13 @@ pub struct TrafficStats {
     pub last_idx: Option<u64>,
     /// `InterfaceDead` escalation events observed (either side).
     pub iface_dead: u64,
+    /// When the most recent valid message arrived (ns since start; 0 =
+    /// none yet — real deliveries always land after t=0).
+    pub last_ok_at_ns: u64,
+    /// Longest gap between consecutive valid deliveries (ns). This is
+    /// the receiver-observed *blackout*: the window during which a fault
+    /// plus its recovery starved the flow.
+    pub max_gap_ns: u64,
 }
 
 impl TrafficStats {
@@ -441,6 +448,12 @@ impl App for PatternReceiver {
                 _ => {
                     s.last_idx = Some(idx);
                     s.received_ok += 1;
+                    let now = ctx.now().as_nanos();
+                    if s.last_ok_at_ns != 0 {
+                        let gap = now.saturating_sub(s.last_ok_at_ns);
+                        s.max_gap_ns = s.max_gap_ns.max(gap);
+                    }
+                    s.last_ok_at_ns = now;
                 }
             }
         }

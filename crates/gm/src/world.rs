@@ -26,8 +26,8 @@ use ftgm_host::{CpuCost, DmaRegion, HostSystem, PciParams};
 use ftgm_lanai::chip::{isr, HostDmaDir, HostDmaReq, WireFrame};
 use ftgm_mcp::machine::{McpEffect, NicEvent, RecvTokenDesc, SendDesc};
 use ftgm_mcp::{McpMachine, McpParams};
-use ftgm_net::{Fabric, FabricParams, Mapper, NodeId, RouteTable, Topology};
-use ftgm_sim::{DmaDir, Scheduler, SimDuration, SimTime, Trace, TraceKind};
+use ftgm_net::{reroute, DropReason, Fabric, FabricParams, Mapper, NodeId, RouteTable, Topology};
+use ftgm_sim::{DmaDir, DropKind, Scheduler, SimDuration, SimTime, Trace, TraceKind};
 
 use crate::backup::{PortBackup, RecvTokenCopy, SendTokenCopy};
 
@@ -240,6 +240,21 @@ pub struct Hooks {
     pub fault_event: Option<FaultEventHook>,
     /// Called after each FTD recovery phase completes (chaos injection).
     pub ftd_phase: Option<FtdPhaseHook>,
+}
+
+/// The trace layer's name for a fabric drop reason (the mirror exists so
+/// `ftgm-sim` does not depend on `ftgm-net`).
+fn drop_kind(reason: DropReason) -> DropKind {
+    match reason {
+        DropReason::SourceNotCabled => DropKind::SourceNotCabled,
+        DropReason::DeadPort(_) => DropKind::DeadPort,
+        DropReason::RouteExhausted => DropKind::RouteExhausted,
+        DropReason::RouteNotConsumed => DropKind::RouteNotConsumed,
+        DropReason::TooManyHops => DropKind::TooManyHops,
+        DropReason::LinkDown => DropKind::LinkDown,
+        DropReason::BadLink => DropKind::BadLink,
+        DropReason::FaultDrop => DropKind::FaultDrop,
+    }
 }
 
 /// Aggregate world statistics.
@@ -509,7 +524,16 @@ impl World {
                                 },
                             );
                         }
-                        Err(_) => self.stats.fabric_drops += 1,
+                        Err(reason) => {
+                            self.stats.fabric_drops += 1;
+                            self.trace.emit(
+                                now,
+                                TraceKind::FabricDrop {
+                                    node: n as u16,
+                                    reason: drop_kind(reason),
+                                },
+                            );
+                        }
                     }
                 }
                 McpEffect::HostDma(req) => {
@@ -881,22 +905,57 @@ impl World {
         failed
     }
 
-    /// Re-runs the GM mapper over the current topology, skipping links that
-    /// are administratively down, and installs the fresh route tables on
-    /// every interface (updating the hosts' recovery copies too). This is
-    /// the mapper's reconfiguration pass after a link disappears or comes
-    /// back.
-    pub fn remap(&mut self) {
-        let topo = self.fabric.topology().clone();
-        let up: Vec<bool> = (0..topo.links().len())
-            .map(|l| self.fabric.link_is_up(l))
-            .collect();
-        let tables = Mapper::map_avoiding(&topo, |l| up[l]);
+    /// Installs fresh per-interface route tables into the live fabric:
+    /// each interface's MCP gets its new table and the host's recovery
+    /// copy (`route_backup`) is updated so subsequent FTD
+    /// `RestoreRoutes` phases restore the *rerouted* state, not the
+    /// pre-fault one. Tables beyond the node count are ignored; nodes
+    /// beyond the table count keep their current routes. Returns the
+    /// number of interfaces whose table actually changed.
+    pub fn install_routes(&mut self, tables: Vec<RouteTable>) -> u32 {
+        let mut changed = 0u32;
+        let installed = tables.len().min(self.nodes.len()) as u32;
         for (n, table) in tables.into_iter().enumerate() {
+            if n >= self.nodes.len() {
+                break;
+            }
+            if self.nodes[n].route_backup != table {
+                changed += 1;
+            }
             self.nodes[n].mcp.set_routes(table.clone());
             self.nodes[n].route_backup = table;
             self.sync_node(n);
         }
+        let now = self.now();
+        self.trace.emit(
+            now,
+            TraceKind::RoutesInstalled { nodes: installed, changed },
+        );
+        changed
+    }
+
+    /// Current per-link up/down state, indexed by link id (the snapshot
+    /// [`ftgm_net::reroute::plan`] consumes).
+    pub fn link_state(&self) -> Vec<bool> {
+        (0..self.fabric.topology().links().len())
+            .map(|l| self.fabric.link_is_up(l))
+            .collect()
+    }
+
+    /// Re-runs the GM mapper over the current topology, skipping links that
+    /// are administratively down, and installs the fresh route tables on
+    /// every interface (updating the hosts' recovery copies too). This is
+    /// the mapper's reconfiguration pass after a link disappears or comes
+    /// back. Returns the number of interfaces whose table changed.
+    pub fn remap(&mut self) -> u32 {
+        let up = self.link_state();
+        let down = up.iter().filter(|u| !**u).count() as u32;
+        let now = self.now();
+        self.trace
+            .emit(now, TraceKind::RerouteStarted { down_links: down });
+        let topo = self.fabric.topology().clone();
+        let plan = reroute::plan(&topo, &up);
+        self.install_routes(plan.into_tables())
     }
 }
 

@@ -51,9 +51,11 @@ pub const ALL_RULES: [&str; 9] = [
 /// because `Trace::emit` runs inline with recovery (and everything else):
 /// a panic while recording an event would abort the very recovery it was
 /// observing.
-const R1_FILES: [&str; 8] = [
+const R1_FILES: [&str; 10] = [
     "crates/core/src/recovery.rs",
     "crates/core/src/ftd.rs",
+    "crates/core/src/coordinator.rs",
+    "crates/net/src/reroute.rs",
     "crates/gm/src/backup.rs",
     "crates/mcp/src/gobackn.rs",
     "crates/faults/src/chaos.rs",
@@ -146,10 +148,12 @@ pub(crate) fn r2_covers(rel: &str) -> bool {
 /// replay/backup layers, and the observability modules that run inline
 /// with recovery. `crates/core/src/lib.rs` is the FtSystem glue — its
 /// hook closures *are* the paper's FAULT_DETECTED handlers.
-pub(crate) const R7_ENTRY_FILES: [&str; 8] = [
+pub(crate) const R7_ENTRY_FILES: [&str; 10] = [
     "crates/core/src/recovery.rs",
     "crates/core/src/ftd.rs",
     "crates/core/src/lib.rs",
+    "crates/core/src/coordinator.rs",
+    "crates/net/src/reroute.rs",
     "crates/gm/src/backup.rs",
     "crates/mcp/src/gobackn.rs",
     "crates/sim/src/trace.rs",
@@ -169,7 +173,8 @@ pub(crate) const R7_ENTRY_FNS: [(&str, &str); 1] =
 /// are the byte-stable JSON emitters that ci.sh grep-gates as
 /// integer-only; `CampaignResult::to_json` in `faults/src/campaign.rs`
 /// is deliberately absent — its Table-1 percentages are floats by design.
-pub(crate) const R9_ENTRY_FNS: [(&str, &str); 13] = [
+pub(crate) const R9_ENTRY_FNS: [(&str, &str); 14] = [
+    ("crates/bench/src/bin/chaosx.rs", "summary_json"),
     ("crates/bench/src/bin/slo.rs", "summary_json"),
     ("crates/bench/src/scale.rs", "sched_cell_json"),
     ("crates/bench/src/scale.rs", "summary_json"),

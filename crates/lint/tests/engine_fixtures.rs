@@ -149,6 +149,21 @@ fn r1_governs_the_whole_workload_crate() {
 }
 
 #[test]
+fn r1_governs_the_coordinator_and_reroute_modules() {
+    // PR 7's zone coordinator and reroute planner run inside recovery
+    // (the coordinator escalates peers; the planner rebuilds routes after
+    // a switch death), so both joined R1's per-line no-panic scope.
+    for path in [
+        "crates/core/src/coordinator.rs",
+        "crates/net/src/reroute.rs",
+    ] {
+        let f = scan_fixture("r1_bad.rs", path);
+        assert_eq!(f.len(), 7, "{path}: {f:#?}");
+        assert_all_rule(&f, rules::RECOVERY_NO_PANIC);
+    }
+}
+
+#[test]
 fn suppression_fixture_honors_rule_specific_allows() {
     let f = scan_fixture("suppression.rs", "crates/core/src/recovery.rs");
     assert_eq!(f.len(), 1, "{f:#?}");
@@ -234,6 +249,26 @@ fn r7_good_is_clean_including_the_inline_allow() {
         R7_ENTRY_STUB,
     );
     assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn r7_seeds_reachability_from_coordinator_and_reroute_entries() {
+    // The same panicking helpers are reachable when the caller lives in
+    // one of PR 7's new entry files — the zone coordinator or the
+    // reroute planner — so both must seed R7's transitive-panic pass.
+    for entry in [
+        "crates/core/src/coordinator.rs",
+        "crates/net/src/reroute.rs",
+    ] {
+        let f = scan_fixture_with_entry(
+            "r7_bad.rs",
+            "crates/host/src/verify.rs",
+            entry,
+            R7_ENTRY_STUB,
+        );
+        assert_eq!(f.len(), 2, "{entry}: {f:#?}");
+        assert_all_rule(&f, rules::TRANSITIVE_PANIC);
+    }
 }
 
 #[test]

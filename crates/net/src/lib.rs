@@ -25,9 +25,11 @@
 pub mod crc;
 pub mod fabric;
 pub mod mapper;
+pub mod reroute;
 pub mod topology;
 
 pub use crc::crc32;
 pub use fabric::{Delivery, DropReason, Fabric, FabricParams};
 pub use mapper::{Mapper, RouteTable};
+pub use reroute::ReroutePlan;
 pub use topology::{Endpoint, NodeId, SwitchId, Topology, TopologyBuilder};

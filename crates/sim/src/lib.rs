@@ -43,4 +43,6 @@ pub use metrics::{HistId, Histogram, Metrics, Samples};
 pub use rng::SimRng;
 pub use sched::{EventId, HeapScheduler, Scheduler};
 pub use time::{SimDuration, SimTime};
-pub use trace::{DmaDir, RecoveryPhase, Trace, TraceEvent, TraceKind, TraceMode};
+pub use trace::{
+    DmaDir, DropKind, RecoveryPhase, Trace, TraceEvent, TraceKind, TraceMode, ZoneTrigger,
+};

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{RecoveryPhase, TraceKind, KIND_COUNT, KIND_NAMES};
+use crate::trace::{DropKind, RecoveryPhase, TraceKind, KIND_COUNT, KIND_NAMES};
 
 /// Integer goodput in bytes per second over `window` (0 when the window
 /// is empty). Shared by every bandwidth/goodput report so they all round
@@ -345,6 +345,8 @@ pub struct Metrics {
     counters: [u64; KIND_COUNT],
     resent_chunks: u64,
     committed_messages: u64,
+    /// Per-reason fabric drop counts, indexed by [`DropKind::index`].
+    drops: [u64; DropKind::COUNT],
     hists: [Histogram; HIST_COUNT],
     /// Open fault marks: node → activation time, consumed by the next
     /// `FtdWoken` on that node to derive detection latency.
@@ -357,6 +359,7 @@ impl Default for Metrics {
             counters: [0; KIND_COUNT],
             resent_chunks: 0,
             committed_messages: 0,
+            drops: [0; DropKind::COUNT],
             hists: [EMPTY_HISTOGRAM; HIST_COUNT],
             pending_fault: BTreeMap::new(),
         }
@@ -399,6 +402,11 @@ impl Metrics {
             TraceKind::CommitAdvanced { messages, .. } => {
                 self.committed_messages = self.committed_messages.saturating_add(messages);
             }
+            TraceKind::FabricDrop { reason, .. } => {
+                if let Some(d) = self.drops.get_mut(reason.index()) {
+                    *d += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -435,6 +443,16 @@ impl Metrics {
         self.committed_messages
     }
 
+    /// Fabric drops observed for one reason.
+    pub fn fabric_drops(&self, kind: DropKind) -> u64 {
+        self.drops.get(kind.index()).copied().unwrap_or(0)
+    }
+
+    /// Fabric drops observed across all reasons.
+    pub fn fabric_drops_total(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
     /// One histogram's current state.
     pub fn hist(&self, id: HistId) -> &Histogram {
         self.hists.get(id.index()).unwrap_or(&EMPTY_HISTOGRAM)
@@ -449,6 +467,9 @@ impl Metrics {
         }
         self.resent_chunks += other.resent_chunks;
         self.committed_messages += other.committed_messages;
+        for (mine, theirs) in self.drops.iter_mut().zip(other.drops.iter()) {
+            *mine += *theirs;
+        }
         for (mine, theirs) in self.hists.iter_mut().zip(other.hists.iter()) {
             mine.merge(theirs);
         }
@@ -481,6 +502,17 @@ impl Metrics {
             let comma = if row + 1 < nonzero.len() { "," } else { "" };
             let name = KIND_NAMES.get(*i).copied().unwrap_or("Unknown");
             out.push_str(&format!("{deep}\"{name}\": {c}{comma}\n"));
+        }
+        out.push_str(&format!("{inner}}},\n"));
+        out.push_str(&format!("{inner}\"fabric_drops\": {{\n"));
+        out.push_str(&format!("{deep}\"total\": {},\n", self.fabric_drops_total()));
+        for (row, kind) in DropKind::ALL.iter().enumerate() {
+            let comma = if row + 1 < DropKind::ALL.len() { "," } else { "" };
+            out.push_str(&format!(
+                "{deep}\"{}\": {}{comma}\n",
+                kind.name(),
+                self.fabric_drops(*kind)
+            ));
         }
         out.push_str(&format!("{inner}}},\n"));
         out.push_str(&format!("{inner}\"histograms\": {{\n"));
@@ -712,6 +744,28 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, both);
+    }
+
+    #[test]
+    fn fabric_drops_counted_per_reason_and_exported() {
+        let mut m = Metrics::default();
+        m.observe(t(1), &TraceKind::FabricDrop { node: 0, reason: DropKind::BadLink });
+        m.observe(t(2), &TraceKind::FabricDrop { node: 1, reason: DropKind::BadLink });
+        m.observe(t(3), &TraceKind::FabricDrop { node: 0, reason: DropKind::LinkDown });
+        assert_eq!(m.fabric_drops(DropKind::BadLink), 2);
+        assert_eq!(m.fabric_drops(DropKind::LinkDown), 1);
+        assert_eq!(m.fabric_drops(DropKind::TooManyHops), 0);
+        assert_eq!(m.fabric_drops_total(), 3);
+        let j = m.to_json();
+        assert!(j.contains("\"fabric_drops\""));
+        assert!(j.contains("\"bad_link\": 2"));
+        assert!(j.contains("\"link_down\": 1"));
+        assert!(j.contains("\"total\": 3"));
+        // Merge folds the per-reason array.
+        let mut other = Metrics::default();
+        other.observe(t(9), &TraceKind::FabricDrop { node: 2, reason: DropKind::BadLink });
+        m.merge(&other);
+        assert_eq!(m.fabric_drops(DropKind::BadLink), 3);
     }
 
     #[test]

@@ -91,6 +91,101 @@ impl RecoveryPhase {
     }
 }
 
+/// Why the fabric dropped an injected packet, as the trace layer names it.
+///
+/// `ftgm-net` owns the drop logic (`DropReason`); this mirror exists so
+/// the metrics registry and exporters can count per-reason drops without
+/// a dependency cycle, exactly like [`RecoveryPhase`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropKind {
+    /// The source node has no cabled NIC link.
+    SourceNotCabled,
+    /// The route addressed a switch port that does not exist.
+    DeadPort,
+    /// The route ran out of bytes before reaching a NIC.
+    RouteExhausted,
+    /// The route had bytes left when it reached a NIC.
+    RouteNotConsumed,
+    /// The packet exceeded the hop budget (routing loop guard).
+    TooManyHops,
+    /// A traversed link was administratively down.
+    LinkDown,
+    /// The cabling graph had no endpoint on the far side of a link.
+    BadLink,
+    /// A fault-injection window forced the drop.
+    FaultDrop,
+}
+
+impl DropKind {
+    /// Number of drop kinds (sizes the per-reason metrics array).
+    pub const COUNT: usize = 8;
+
+    /// All kinds, in [`DropKind::index`] order.
+    pub const ALL: [DropKind; DropKind::COUNT] = [
+        DropKind::SourceNotCabled,
+        DropKind::DeadPort,
+        DropKind::RouteExhausted,
+        DropKind::RouteNotConsumed,
+        DropKind::TooManyHops,
+        DropKind::LinkDown,
+        DropKind::BadLink,
+        DropKind::FaultDrop,
+    ];
+
+    /// Position within [`DropKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            DropKind::SourceNotCabled => 0,
+            DropKind::DeadPort => 1,
+            DropKind::RouteExhausted => 2,
+            DropKind::RouteNotConsumed => 3,
+            DropKind::TooManyHops => 4,
+            DropKind::LinkDown => 5,
+            DropKind::BadLink => 6,
+            DropKind::FaultDrop => 7,
+        }
+    }
+
+    /// Stable snake-case name for JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropKind::SourceNotCabled => "source_not_cabled",
+            DropKind::DeadPort => "dead_port",
+            DropKind::RouteExhausted => "route_exhausted",
+            DropKind::RouteNotConsumed => "route_not_consumed",
+            DropKind::TooManyHops => "too_many_hops",
+            DropKind::LinkDown => "link_down",
+            DropKind::BadLink => "bad_link",
+            DropKind::FaultDrop => "fault_drop",
+        }
+    }
+}
+
+/// What made the zone coordinator escalate to a fabric-wide reroute.
+///
+/// `ftgm-core` owns the coordinator; this mirror exists for the same
+/// layering reason as [`RecoveryPhase`] and [`DropKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZoneTrigger {
+    /// The set of down links changed since the last reroute.
+    LinkChange,
+    /// A peer's recovery ran longer than the stall bound.
+    Stall,
+    /// Concurrent recoveries crossed the cascade threshold.
+    Cascade,
+}
+
+impl ZoneTrigger {
+    /// Stable snake-case name for JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ZoneTrigger::LinkChange => "link_change",
+            ZoneTrigger::Stall => "stall",
+            ZoneTrigger::Cascade => "cascade",
+        }
+    }
+}
+
 /// Direction of a host DMA, as the trace layer names it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DmaDir {
@@ -252,6 +347,59 @@ pub enum TraceKind {
     NoiseOpened,
     /// The loss/corruption window closed.
     NoiseClosed,
+    /// Every cabled link of one switch went down at once.
+    SwitchKilled {
+        /// The dead switch's index in the topology.
+        switch: u16,
+        /// Links taken down (those that were still up).
+        links: u32,
+    },
+
+    // --- fabric drops (high-frequency) ----------------------------------
+    /// The fabric dropped an injected packet.
+    FabricDrop {
+        /// The injecting (sending) node.
+        node: u16,
+        /// Why the packet was dropped.
+        reason: DropKind,
+    },
+
+    // --- mapper-driven reroute ------------------------------------------
+    /// A BFS re-discovery over the residual fabric started.
+    RerouteStarted {
+        /// Links currently down (avoided by the mapper).
+        down_links: u32,
+    },
+    /// Fresh source-route tables were installed into the live fabric.
+    RoutesInstalled {
+        /// Nodes whose tables were (re)written.
+        nodes: u32,
+        /// Nodes whose tables actually changed.
+        changed: u32,
+    },
+
+    // --- zone coordinator (DIR-net-style backup agent) ------------------
+    /// A backup agent saw a peer's recovery exceed the stall bound.
+    PeerStallDetected {
+        /// The observing (healthy) node.
+        observer: u16,
+        /// The stalled peer.
+        peer: u16,
+    },
+    /// The coordinator escalated to a fabric-wide zone reroute.
+    ZoneRerouteTriggered {
+        /// The observing (healthy) node.
+        observer: u16,
+        /// What tripped the escalation.
+        trigger: ZoneTrigger,
+    },
+    /// A reroute left a live peer with no routes; it was escalated dead.
+    PeerIsolated {
+        /// The observing (healthy) node.
+        observer: u16,
+        /// The unreachable peer.
+        peer: u16,
+    },
 
     // --- FTD recovery pipeline ------------------------------------------
     /// A FATAL arrived on an escalated (dead) interface and was ignored.
@@ -392,7 +540,7 @@ pub enum TraceKind {
 }
 
 /// Number of [`TraceKind`] variants (sizes the metrics counter array).
-pub const KIND_COUNT: usize = 38;
+pub const KIND_COUNT: usize = 45;
 
 /// Stable kind names, indexed by [`TraceKind::kind_index`].
 pub const KIND_NAMES: [&str; KIND_COUNT] = [
@@ -434,6 +582,13 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "GmUnknownEntered",
     "StaleHandlerSuperseded",
     "PortReopened",
+    "SwitchKilled",
+    "FabricDrop",
+    "RerouteStarted",
+    "RoutesInstalled",
+    "PeerStallDetected",
+    "ZoneRerouteTriggered",
+    "PeerIsolated",
 ];
 
 impl TraceKind {
@@ -478,6 +633,13 @@ impl TraceKind {
             TraceKind::GmUnknownEntered { .. } => 35,
             TraceKind::StaleHandlerSuperseded { .. } => 36,
             TraceKind::PortReopened { .. } => 37,
+            TraceKind::SwitchKilled { .. } => 38,
+            TraceKind::FabricDrop { .. } => 39,
+            TraceKind::RerouteStarted { .. } => 40,
+            TraceKind::RoutesInstalled { .. } => 41,
+            TraceKind::PeerStallDetected { .. } => 42,
+            TraceKind::ZoneRerouteTriggered { .. } => 43,
+            TraceKind::PeerIsolated { .. } => 44,
         }
     }
 
@@ -487,7 +649,8 @@ impl TraceKind {
     }
 
     /// Short category tag (`"wdog"`, `"ftd"`, `"fault"`, `"recov"`,
-    /// `"gm"`, `"dma"`, `"mcp"`, `"net"`), mirroring the render column.
+    /// `"gm"`, `"dma"`, `"mcp"`, `"net"`, `"coord"`), mirroring the
+    /// render column.
     pub fn category(&self) -> &'static str {
         match self {
             TraceKind::SendPosted { .. }
@@ -505,7 +668,14 @@ impl TraceKind {
             | TraceKind::LinkDown { .. }
             | TraceKind::LinkUp { .. }
             | TraceKind::NoiseOpened
-            | TraceKind::NoiseClosed => "fault",
+            | TraceKind::NoiseClosed
+            | TraceKind::SwitchKilled { .. } => "fault",
+            TraceKind::FabricDrop { .. }
+            | TraceKind::RerouteStarted { .. }
+            | TraceKind::RoutesInstalled { .. } => "net",
+            TraceKind::PeerStallDetected { .. }
+            | TraceKind::ZoneRerouteTriggered { .. }
+            | TraceKind::PeerIsolated { .. } => "coord",
             TraceKind::GmUnknownEntered { .. }
             | TraceKind::StaleHandlerSuperseded { .. }
             | TraceKind::PortReopened { .. } => "recov",
@@ -550,10 +720,17 @@ impl TraceKind {
             | TraceKind::GmUnknownEntered { node, .. }
             | TraceKind::StaleHandlerSuperseded { node, .. }
             | TraceKind::PortReopened { node, .. } => Some(node),
+            TraceKind::FabricDrop { node, .. } => Some(node),
+            TraceKind::PeerStallDetected { observer, .. }
+            | TraceKind::ZoneRerouteTriggered { observer, .. }
+            | TraceKind::PeerIsolated { observer, .. } => Some(observer),
             TraceKind::LinkDown { .. }
             | TraceKind::LinkUp { .. }
             | TraceKind::NoiseOpened
-            | TraceKind::NoiseClosed => None,
+            | TraceKind::NoiseClosed
+            | TraceKind::SwitchKilled { .. }
+            | TraceKind::RerouteStarted { .. }
+            | TraceKind::RoutesInstalled { .. } => None,
         }
     }
 
@@ -572,6 +749,7 @@ impl TraceKind {
                 | TraceKind::CommitAdvanced { .. }
                 | TraceKind::Resent { .. }
                 | TraceKind::WatchdogRearmed { .. }
+                | TraceKind::FabricDrop { .. }
         )
     }
 
@@ -682,6 +860,27 @@ impl TraceKind {
                      {recvs_replayed} recvs, {streams_restored} streams restored)"
                 )
             }
+            TraceKind::SwitchKilled { switch, links } => {
+                format!("switch {switch} dead — {links} links down")
+            }
+            TraceKind::FabricDrop { node, reason } => {
+                format!("node{node}: fabric dropped packet ({})", reason.name())
+            }
+            TraceKind::RerouteStarted { down_links } => {
+                format!("reroute: BFS re-discovery avoiding {down_links} down links")
+            }
+            TraceKind::RoutesInstalled { nodes, changed } => {
+                format!("reroute: route tables installed on {nodes} nodes ({changed} changed)")
+            }
+            TraceKind::PeerStallDetected { observer, peer } => {
+                format!("node{observer}: peer node{peer} recovery exceeds stall bound")
+            }
+            TraceKind::ZoneRerouteTriggered { observer, trigger } => {
+                format!("node{observer}: zone reroute escalated ({})", trigger.name())
+            }
+            TraceKind::PeerIsolated { observer, peer } => {
+                format!("node{observer}: peer node{peer} unreachable after reroute — escalating dead")
+            }
         }
     }
 
@@ -773,6 +972,25 @@ impl TraceKind {
                     w,
                     ",\"node\":{node},\"port\":{port},\"sends_replayed\":{sends_replayed},\"recvs_replayed\":{recvs_replayed},\"streams_restored\":{streams_restored}"
                 );
+            }
+            TraceKind::SwitchKilled { switch, links } => {
+                let _ = write!(w, ",\"switch\":{switch},\"links\":{links}");
+            }
+            TraceKind::FabricDrop { node, reason } => {
+                let _ = write!(w, ",\"node\":{node},\"reason\":\"{}\"", reason.name());
+            }
+            TraceKind::RerouteStarted { down_links } => {
+                let _ = write!(w, ",\"down_links\":{down_links}");
+            }
+            TraceKind::RoutesInstalled { nodes, changed } => {
+                let _ = write!(w, ",\"nodes\":{nodes},\"changed\":{changed}");
+            }
+            TraceKind::PeerStallDetected { observer, peer }
+            | TraceKind::PeerIsolated { observer, peer } => {
+                let _ = write!(w, ",\"observer\":{observer},\"peer\":{peer}");
+            }
+            TraceKind::ZoneRerouteTriggered { observer, trigger } => {
+                let _ = write!(w, ",\"observer\":{observer},\"trigger\":\"{}\"", trigger.name());
             }
         }
     }
@@ -1066,6 +1284,16 @@ mod tests {
                 TraceKind::PortReopened { node: 0, port: 0, sends_replayed: 0, recvs_replayed: 0, streams_restored: 0 },
                 "PortReopened",
             ),
+            (TraceKind::SwitchKilled { switch: 0, links: 3 }, "SwitchKilled"),
+            (TraceKind::FabricDrop { node: 0, reason: DropKind::BadLink }, "FabricDrop"),
+            (TraceKind::RerouteStarted { down_links: 1 }, "RerouteStarted"),
+            (TraceKind::RoutesInstalled { nodes: 8, changed: 2 }, "RoutesInstalled"),
+            (TraceKind::PeerStallDetected { observer: 0, peer: 1 }, "PeerStallDetected"),
+            (
+                TraceKind::ZoneRerouteTriggered { observer: 0, trigger: ZoneTrigger::Stall },
+                "ZoneRerouteTriggered",
+            ),
+            (TraceKind::PeerIsolated { observer: 0, peer: 1 }, "PeerIsolated"),
         ];
         for (kind, name) in samples {
             assert_eq!(kind.name(), name);
@@ -1078,5 +1306,22 @@ mod tests {
         for (i, p) in RecoveryPhase::ORDER.iter().enumerate() {
             assert_eq!(p.index(), i);
         }
+    }
+
+    #[test]
+    fn drop_kind_order_is_dense_and_names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, k) in DropKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(seen.insert(k.name()), "duplicate name {}", k.name());
+        }
+    }
+
+    #[test]
+    fn fabric_drops_are_high_frequency_but_counted() {
+        let mut tr = Trace::enabled();
+        tr.emit(t(1), TraceKind::FabricDrop { node: 3, reason: DropKind::LinkDown });
+        assert!(tr.events().is_empty(), "drops are not stored at milestone level");
+        assert_eq!(tr.metrics().counter("FabricDrop"), 1);
     }
 }

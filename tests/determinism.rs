@@ -11,7 +11,7 @@ use ftgm_bench::scale::{
     run_sched_cell, run_world_cell, scale_spec, sched_cells, summary_json, world_cells,
 };
 use ftgm_faults::campaign::run_scenarios_parallel;
-use ftgm_faults::chaos::standard_scenarios;
+use ftgm_faults::chaos::{correlated_scenarios, standard_scenarios};
 use ftgm_workload::{demo_suite, reports_to_json, run_suite_parallel};
 
 /// Asserts a golden benchmark artifact is integer-only: after stripping
@@ -85,6 +85,37 @@ fn bench_scale_json_matches_golden_schema() {
     assert!(
         json.contains("\"violations\": 0"),
         "a BENCH_scale.json with violations must never be committed"
+    );
+}
+
+/// Golden schema for `BENCH_chaos.json` (written by the `chaosx` bin):
+/// correlated-fault sweep rollup — all required keys present, integers
+/// only, and no committed violations.
+#[test]
+fn bench_chaos_json_matches_golden_schema() {
+    let json = read_artifact("BENCH_chaos.json");
+    assert_integer_only_json("BENCH_chaos.json", &json);
+    assert_has_keys(
+        "BENCH_chaos.json",
+        &json,
+        &[
+            "schema", "seed", "violations", "scenarios", "name", "topology", "fault",
+            "verdict", "resolutions", "healthy", "recovered", "escalated",
+            "stranded_hung", "stuck_recovering", "recoveries", "escalations", "stalls",
+            "cascades", "isolations", "zone_reroutes", "fabric_drops", "bad_link_drops",
+            "max_blackout_ns", "delivered",
+        ],
+    );
+    assert!(json.contains("\"schema\": \"ftgm-chaos-v1\""));
+    assert!(
+        json.contains("\"violations\": 0"),
+        "a BENCH_chaos.json with oracle violations must never be committed"
+    );
+    // Every verdict in the sweep must be an acceptable outcome — a
+    // committed artifact where some scenario hung silently is a bug.
+    assert!(
+        !json.contains("\"verdict\": \"violated\""),
+        "BENCH_chaos.json contains a violated scenario"
     );
 }
 
@@ -182,6 +213,45 @@ fn exports_are_byte_identical_across_thread_counts() {
         assert!(!a.trace_jsonl.is_empty(), "{name}: trace exported");
         assert_eq!(a.trace_jsonl, b.trace_jsonl, "{name}: event stream diverged");
         assert_eq!(a.chrome_trace, b.chrome_trace, "{name}: chrome trace diverged");
+        assert_eq!(a.metrics_json, b.metrics_json, "{name}: metrics diverged");
+        assert_eq!(
+            a.report.to_json(),
+            b.report.to_json(),
+            "{name}: report diverged"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: correlated scenarios simulate seconds of fabric time (ci.sh runs this with --release)"
+)]
+fn correlated_exports_are_byte_identical_across_thread_counts() {
+    // One scenario per correlated-fault class (with the spine-death
+    // reroute on the 64-host fat tree included): the coordinator's poll
+    // loop, the reroute planner, and the blackout accounting must all be
+    // invariant to how the sweep fans out over worker threads.
+    let picks = [
+        "star8-two-nic-hang",
+        "ring8-switch-death",
+        "fat_tree64-switch-death",
+        "star8-flap-in-recovery",
+        "ring8-cascade",
+        "ring8-stall-escalates",
+    ];
+    let scenarios: Vec<_> = correlated_scenarios()
+        .into_iter()
+        .filter(|s| picks.contains(&s.name.as_str()))
+        .collect();
+    assert_eq!(scenarios.len(), picks.len(), "scenario names drifted");
+    let single = run_scenarios_parallel(&scenarios, 2003, 1);
+    let multi = run_scenarios_parallel(&scenarios, 2003, 3);
+    assert_eq!(single.len(), multi.len());
+    for (a, b) in single.iter().zip(&multi) {
+        let name = &a.report.scenario;
+        assert_eq!(a.report.scenario, b.report.scenario, "output order preserved");
+        assert_eq!(a.trace_jsonl, b.trace_jsonl, "{name}: event stream diverged");
         assert_eq!(a.metrics_json, b.metrics_json, "{name}: metrics diverged");
         assert_eq!(
             a.report.to_json(),

@@ -649,3 +649,138 @@ proptest! {
         prop_assert_eq!(bytes, report.total_completed * 256);
     }
 }
+
+/// Walks a source route through `topo` from `src`'s NIC: returns the
+/// delivered node and every link traversed, or `None` if the route runs
+/// off the cabling (a byte with no link, or bytes left over at a NIC).
+fn walk_route(topo: &Topology, src: NodeId, route: &[u8]) -> Option<(NodeId, Vec<usize>)> {
+    let l0 = topo.nic_link(src)?;
+    let mut used = vec![l0];
+    let mut at = topo.peer(l0, Endpoint::Nic(src))?;
+    for &port in route {
+        match at {
+            Endpoint::SwitchPort { switch, .. } => {
+                let l = topo.switch_port_link(switch, port)?;
+                used.push(l);
+                at = topo.peer(l, Endpoint::SwitchPort { switch, port })?;
+            }
+            Endpoint::Nic(_) => return None,
+        }
+    }
+    match at {
+        Endpoint::Nic(n) => Some((n, used)),
+        Endpoint::SwitchPort { .. } => None,
+    }
+}
+
+/// Which vertices (NICs `0..n`, switches `n..n+s`) are connected to
+/// `from` in the residual graph made of the up links only.
+fn residual_reach(topo: &Topology, link_up: &[bool], from: usize) -> Vec<bool> {
+    let n = topo.node_count();
+    let vertex = |ep: Endpoint| match ep {
+        Endpoint::Nic(id) => id.0 as usize,
+        Endpoint::SwitchPort { switch, .. } => n + switch.0 as usize,
+    };
+    let total = n + topo.switch_count();
+    let mut adj = vec![Vec::new(); total];
+    for (l, link) in topo.links().iter().enumerate() {
+        if link_up.get(l).copied().unwrap_or(false) {
+            let (a, b) = (vertex(link.a), vertex(link.b));
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    let mut seen = vec![false; total];
+    let mut queue = std::collections::VecDeque::from([from]);
+    seen[from] = true;
+    while let Some(v) = queue.pop_front() {
+        for &w in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    /// Mapper-driven reroute, for ANY chain topology and ANY set of dead
+    /// links: (a) no planned route ever traverses an avoided link, (b)
+    /// every planned route delivers to exactly the node its table entry
+    /// names, and (c) a route exists *iff* the residual fabric still
+    /// connects the pair — reachability is never under- or over-promised.
+    #[test]
+    fn reroute_avoids_dead_links_and_matches_residual_connectivity(
+        switches in 1usize..5,
+        hosts_per_switch in 1usize..4,
+        down_mask in any::<u32>(),
+    ) {
+        let topo = Topology::switch_chain(switches, hosts_per_switch);
+        prop_assert!(topo.links().len() < 32, "mask covers every link");
+        let link_up: Vec<bool> = (0..topo.links().len())
+            .map(|l| down_mask & (1 << l) == 0)
+            .collect();
+        let plan = ftgm_net::reroute::plan(&topo, &link_up);
+        let n = topo.node_count();
+        for src in 0..n {
+            let reach = residual_reach(&topo, &link_up, src);
+            let table = &plan.tables()[src];
+            for dst in 0..n {
+                if dst == src {
+                    continue;
+                }
+                match table.route(NodeId(dst as u16)) {
+                    Some(route) => {
+                        let (delivered, used) = walk_route(&topo, NodeId(src as u16), route)
+                            .expect("planned route walks the cabling");
+                        prop_assert_eq!(delivered, NodeId(dst as u16));
+                        for l in used {
+                            prop_assert!(
+                                link_up[l],
+                                "route {}->{} traverses dead link {}", src, dst, l
+                            );
+                        }
+                    }
+                    None => {
+                        prop_assert!(
+                            !reach[dst],
+                            "{}->{} residually connected but unrouted", src, dst
+                        );
+                    }
+                }
+                prop_assert_eq!(
+                    table.route(NodeId(dst as u16)).is_some(),
+                    reach[dst],
+                    "reachability mismatch {}->{}", src, dst
+                );
+            }
+        }
+    }
+
+    /// On a ring, losing any ONE link never parts the survivors: cutting
+    /// an inter-switch link keeps full reachability (the cycle offers the
+    /// other direction); cutting a NIC cable isolates exactly that node.
+    #[test]
+    fn ring_single_link_loss_localizes_damage(
+        n in 3usize..10,
+        cut_sel in any::<u64>(),
+    ) {
+        let topo = Topology::ring(n);
+        let cut = (cut_sel % topo.links().len() as u64) as usize;
+        let mut link_up = vec![true; topo.links().len()];
+        link_up[cut] = false;
+        let plan = ftgm_net::reroute::plan(&topo, &link_up);
+        let nic_of = (0..n).find(|&i| topo.nic_link(NodeId(i as u16)) == Some(cut));
+        match nic_of {
+            Some(node) => {
+                prop_assert_eq!(plan.isolated(), vec![NodeId(node as u16)]);
+                prop_assert_eq!(plan.reachable_pairs(), ((n - 1) * (n - 2)) as u64);
+            }
+            None => {
+                prop_assert!(plan.isolated().is_empty());
+                prop_assert_eq!(plan.reachable_pairs(), (n * (n - 1)) as u64);
+            }
+        }
+    }
+}
