@@ -60,6 +60,12 @@ step chaos-bench 900 cargo run --release -q -p ftgm-bench --bin chaosx
 # BENCH_scale.json is run manually: cargo run --release -p ftgm-bench
 # --bin scale.
 step scale-smoke 600 cargo run --release -q -p ftgm-bench --bin scale -- --smoke
+# Scenario-DSL corpus replay: every scenarios/*.ftsc file parses,
+# compiles, runs, matches its `expect` verdict, violates no oracle, and
+# produces JSON byte-identical to scenarios/golden/<name>.json. After an
+# intentional behavior change, regenerate with: cargo run --release -p
+# ftgm-bench --bin scenariox -- --update (see docs/SCENARIOS.md).
+step scenario-bench 900 cargo run --release -q -p ftgm-bench --bin scenariox
 
 # Schema sanity: the committed summaries must carry the expected keys and
 # stay integer-valued (a float would mean platform-dependent
@@ -90,6 +96,14 @@ for key in '"schema": "ftgm-chaos-v1"' '"scenarios"' '"verdict"' \
         exit 1
     }
 done
+for key in '"schema": "ftgm-scenario-v1"' '"corpus"' '"mismatches": 0' \
+    '"violations": 0' '"golden_diffs": 0' '"scenarios"' '"expected"' \
+    '"verdict"'; do
+    grep -q "$key" results/scenario_summary.json || {
+        echo "results/scenario_summary.json: missing required key $key" >&2
+        exit 1
+    }
+done
 # The lint report is a build artifact with the same contract as the
 # bench summaries: stable schema, zero unbaselined findings, and no
 # float values (counts and 1-based source positions only).
@@ -100,7 +114,8 @@ for key in '"schema": "ftgm-lint-v1"' '"rules"' '"new_count": 0' \
         exit 1
     }
 done
-for f in BENCH_slo.json BENCH_scale.json BENCH_chaos.json results/lint_report.json; do
+for f in BENCH_slo.json BENCH_scale.json BENCH_chaos.json \
+    results/lint_report.json results/scenario_summary.json; do
     if grep -Eq ':[[:space:]]*-?[0-9]+\.' "$f"; then
         echo "$f: non-integer numeric value found" >&2
         exit 1

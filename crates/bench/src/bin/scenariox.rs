@@ -1,0 +1,179 @@
+//! `scenariox` — replay the scenario-DSL corpus and gate on it.
+//!
+//! Loads every `scenarios/*.ftsc` file (sorted by name), parses and
+//! compiles each one, runs the whole corpus through the slot-disciplined
+//! parallel runner, and then gates three ways:
+//!
+//! 1. **Expect** — each outcome's verdict must equal the file's
+//!    `expect` line (a disagreement is a typed `ExpectMismatch`);
+//! 2. **Oracles** — no chaos-oracle or SLO-bound violations anywhere;
+//! 3. **Goldens** — each outcome's JSON must be byte-identical to
+//!    `scenarios/golden/<name>.json`.
+//!
+//! Exit codes: 0 clean, 1 parse/compile/load errors, 2 gate failures.
+//! `--update` rewrites the goldens in place (still exits 2 on expect or
+//! oracle failures, so a broken corpus cannot be "updated" green).
+//! A machine-readable summary lands in `results/scenario_summary.json`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ftgm_scenario::{compile, parse, render_diags, run_corpus_parallel, ScenarioOutcome};
+
+fn corpus_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = fs::read_dir(root)
+        .map_err(|e| format!("cannot read {}: {e}", root.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "ftsc"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn summary_json(
+    outcomes: &[ScenarioOutcome],
+    mismatches: u64,
+    violations: u64,
+    golden_diffs: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"ftgm-scenario-v1\",");
+    let _ = writeln!(out, "  \"corpus\": {},", outcomes.len());
+    let _ = writeln!(out, "  \"mismatches\": {mismatches},");
+    let _ = writeln!(out, "  \"violations\": {violations},");
+    let _ = writeln!(out, "  \"golden_diffs\": {golden_diffs},");
+    out.push_str("  \"scenarios\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"seed\": {}, \"expected\": \"{}\", \
+             \"verdict\": \"{}\", \"violations\": {}}}",
+            o.name,
+            o.seed,
+            o.expected.label(),
+            o.verdict.label(),
+            o.violations().len()
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|a| a == "--update");
+    let root = Path::new("scenarios");
+    let golden_dir = root.join("golden");
+
+    let files = match corpus_files(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("scenariox: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if files.is_empty() {
+        eprintln!("scenariox: no .ftsc files under {}", root.display());
+        return ExitCode::from(1);
+    }
+
+    let mut compiled = Vec::new();
+    let mut broken = 0u64;
+    for path in &files {
+        let src = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("scenariox: cannot read {}: {e}", path.display());
+                broken += 1;
+                continue;
+            }
+        };
+        match parse(&src) {
+            Ok(spec) => compiled.push(compile(&spec)),
+            Err(diags) => {
+                eprintln!("scenariox: {} rejected:", path.display());
+                eprint!("{}", render_diags(&diags));
+                broken += 1;
+            }
+        }
+    }
+    if broken > 0 {
+        eprintln!("scenariox: {broken} corpus file(s) failed to load");
+        return ExitCode::from(1);
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    let outcomes = run_corpus_parallel(&compiled, threads);
+
+    let mut mismatches = 0u64;
+    let mut violations = 0u64;
+    let mut golden_diffs = 0u64;
+    for o in &outcomes {
+        let v = o.violations();
+        violations += v.len() as u64;
+        for line in &v {
+            eprintln!("  violation [{}]: {line}", o.name);
+        }
+        match o.check() {
+            Ok(()) => println!(
+                "  {:34} expect {:9} -> {:9} ok",
+                o.name,
+                o.expected.label(),
+                o.verdict.label()
+            ),
+            Err(m) => {
+                mismatches += 1;
+                eprintln!("  MISMATCH: {m}");
+            }
+        }
+
+        let golden_path = golden_dir.join(format!("{}.json", o.name));
+        let json = o.to_json();
+        if update {
+            if fs::create_dir_all(&golden_dir).is_err()
+                || fs::write(&golden_path, &json).is_err()
+            {
+                eprintln!("scenariox: cannot write {}", golden_path.display());
+                golden_diffs += 1;
+            }
+        } else {
+            match fs::read_to_string(&golden_path) {
+                Ok(expected) if expected == json => {}
+                Ok(_) => {
+                    golden_diffs += 1;
+                    eprintln!(
+                        "  GOLDEN DIFF: {} (rerun with --update after verifying the change)",
+                        golden_path.display()
+                    );
+                }
+                Err(_) => {
+                    golden_diffs += 1;
+                    eprintln!("  GOLDEN MISSING: {}", golden_path.display());
+                }
+            }
+        }
+    }
+
+    let summary = summary_json(&outcomes, mismatches, violations, golden_diffs);
+    if fs::create_dir_all("results").is_err()
+        || fs::write("results/scenario_summary.json", &summary).is_err()
+    {
+        eprintln!("scenariox: cannot write results/scenario_summary.json");
+        return ExitCode::from(1);
+    }
+
+    println!(
+        "scenariox: {} scenarios, {mismatches} mismatches, {violations} violations, \
+         {golden_diffs} golden diffs",
+        outcomes.len()
+    );
+    if mismatches > 0 || violations > 0 || golden_diffs > 0 {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

@@ -241,6 +241,25 @@ impl FtdPhase {
         }
     }
 
+    /// Stable snake_case name, the spelling the scenario DSL uses for
+    /// `on node N phase <name>` triggers.
+    pub fn name(self) -> &'static str {
+        match self {
+            FtdPhase::Reset => "reset",
+            FtdPhase::ClearSram => "clear_sram",
+            FtdPhase::ReloadMcp => "reload_mcp",
+            FtdPhase::RestartEngines => "restart_engines",
+            FtdPhase::RestorePageTable => "restore_page_table",
+            FtdPhase::RestoreRoutes => "restore_routes",
+        }
+    }
+
+    /// Parses a snake_case phase name back to the phase (the inverse of
+    /// [`FtdPhase::name`]).
+    pub fn from_name(name: &str) -> Option<FtdPhase> {
+        FtdPhase::ORDER.into_iter().find(|p| p.name() == name)
+    }
+
     /// Human-readable label for traces.
     pub fn label(self) -> &'static str {
         match self {

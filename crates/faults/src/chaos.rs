@@ -209,6 +209,24 @@ pub struct PhaseTrigger {
     pub remaining: u32,
 }
 
+impl PhaseTrigger {
+    /// A trigger that fires `times` times when `node`'s FTD completes
+    /// `phase`, then disarms.
+    pub fn times(node: u16, phase: FtdPhase, action: ChaosAction, times: u32) -> PhaseTrigger {
+        PhaseTrigger {
+            node,
+            phase,
+            action,
+            remaining: times,
+        }
+    }
+
+    /// A one-shot trigger on `node` completing `phase`.
+    pub fn once(node: u16, phase: FtdPhase, action: ChaosAction) -> PhaseTrigger {
+        PhaseTrigger::times(node, phase, action, 1)
+    }
+}
+
 /// A full scenario: world shape, traffic, and fault schedule.
 #[derive(Clone, Debug)]
 pub struct ChaosScenario {

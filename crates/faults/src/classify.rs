@@ -251,6 +251,21 @@ impl ScenarioVerdict {
         }
     }
 
+    /// Parses a verdict label back to the verdict (the inverse of
+    /// [`ScenarioVerdict::label`]; the scenario DSL's `expect` clause).
+    pub fn from_label(label: &str) -> Option<ScenarioVerdict> {
+        // Search the variant list instead of matching on the string:
+        // a new variant extends this automatically via `label()`, and
+        // there is no wildcard arm to swallow it.
+        const ALL: [ScenarioVerdict; 4] = [
+            ScenarioVerdict::Survived,
+            ScenarioVerdict::Rerouted,
+            ScenarioVerdict::Escalated,
+            ScenarioVerdict::Violated,
+        ];
+        ALL.into_iter().find(|v| v.label() == label)
+    }
+
     /// `true` unless an oracle was violated.
     pub fn acceptable(self) -> bool {
         match self {

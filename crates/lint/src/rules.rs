@@ -67,12 +67,15 @@ const R1_FILES: [&str; 10] = [
 /// R1, directory form: whole crates on the recovery path. The workload
 /// generators run *through* NIC hangs and recoveries by design (that is
 /// the point of the recovery-under-load suite), so a panic anywhere in
-/// the crate would abort the run it was measuring.
-const R1_DIRS: [&str; 1] = ["crates/workload/src/"];
+/// the crate would abort the run it was measuring. The scenario DSL
+/// qualifies end to end: its parser must be total over arbitrary bytes
+/// (the fuzz suite feeds it byte soup), and its compiled campaigns run
+/// through the same hangs and recoveries as the workload crate.
+const R1_DIRS: [&str; 2] = ["crates/workload/src/", "crates/scenario/src/"];
 
 /// R2: crates whose code runs under (or feeds state into) the
 /// deterministic simulation.
-const R2_DIRS: [&str; 7] = [
+const R2_DIRS: [&str; 8] = [
     "crates/sim/src/",
     "crates/net/src/",
     "crates/mcp/src/",
@@ -80,6 +83,7 @@ const R2_DIRS: [&str; 7] = [
     "crates/gm/src/",
     "crates/faults/src/",
     "crates/workload/src/",
+    "crates/scenario/src/",
 ];
 
 /// R3: the only modules allowed to assign sequence-number fields
@@ -165,17 +169,25 @@ pub(crate) const R7_ENTRY_FILES: [&str; 10] = [
 /// the chaos engine's fault-execution switch (it runs inside recovery);
 /// the scenario *runners* in the same file drive the whole simulator and
 /// are deliberately not entries — the event loop is not a recovery path.
-pub(crate) const R7_ENTRY_FNS: [(&str, &str); 1] =
-    [("crates/faults/src/chaos.rs", "apply_action")];
+/// `compile` is the DSL-to-campaign lowering: it runs before any fault
+/// fires, but a panic there kills a whole corpus replay, so its closure
+/// must be total too. The DSL's `run_compiled` is not an entry for the
+/// same reason the chaos runners are not.
+pub(crate) const R7_ENTRY_FNS: [(&str, &str); 2] = [
+    ("crates/faults/src/chaos.rs", "apply_action"),
+    ("crates/scenario/src/compile.rs", "compile"),
+];
 
 /// `(file, fn name)` pairs that mark the integer-only serializer surface
 /// for R9 (in addition to every fn in `crates/sim/src/export.rs`). These
 /// are the byte-stable JSON emitters that ci.sh grep-gates as
 /// integer-only; `CampaignResult::to_json` in `faults/src/campaign.rs`
 /// is deliberately absent — its Table-1 percentages are floats by design.
-pub(crate) const R9_ENTRY_FNS: [(&str, &str); 14] = [
+pub(crate) const R9_ENTRY_FNS: [(&str, &str); 16] = [
     ("crates/bench/src/bin/chaosx.rs", "summary_json"),
+    ("crates/bench/src/bin/scenariox.rs", "summary_json"),
     ("crates/bench/src/bin/slo.rs", "summary_json"),
+    ("crates/scenario/src/run.rs", "to_json"),
     ("crates/bench/src/scale.rs", "sched_cell_json"),
     ("crates/bench/src/scale.rs", "summary_json"),
     ("crates/bench/src/scale.rs", "world_cell_json"),

@@ -164,6 +164,26 @@ fn r1_governs_the_coordinator_and_reroute_modules() {
 }
 
 #[test]
+fn scenario_bad_flags_panics_and_nondeterminism_in_the_dsl_crate() {
+    // PR 8's scenario DSL joined both per-line scopes: R1 because the
+    // parser must be total over byte soup and the compiled campaigns run
+    // through recoveries, R2 because its output feeds the simulator.
+    let f = scan_fixture("scenario_bad.rs", "crates/scenario/src/parse.rs");
+    // 2 recovery-no-panic (literal index, unwrap) + 4 determinism (the
+    // HashMap use + both mentions on its declaration line, Instant::now).
+    assert_eq!(f.len(), 6, "{f:#?}");
+    let r1 = f.iter().filter(|x| x.rule == rules::RECOVERY_NO_PANIC).count();
+    let r2 = f.iter().filter(|x| x.rule == rules::DETERMINISM).count();
+    assert_eq!((r1, r2), (2, 4), "{f:#?}");
+}
+
+#[test]
+fn scenario_good_total_parser_is_clean_including_test_module() {
+    let f = scan_fixture("scenario_good.rs", "crates/scenario/src/parse.rs");
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
 fn suppression_fixture_honors_rule_specific_allows() {
     let f = scan_fixture("suppression.rs", "crates/core/src/recovery.rs");
     assert_eq!(f.len(), 1, "{f:#?}");

@@ -1,0 +1,53 @@
+//! `ftgm-scenario` — a declarative campaign language for the FTGM
+//! simulator.
+//!
+//! A scenario file names, in one screen of text, everything a
+//! fault-tolerance experiment needs: the world shape, the traffic
+//! (validated probe flows and open/closed-loop load), a phase timeline,
+//! the fault schedule (absolute and recovery-phase-triggered), the SLO
+//! bounds to hold, and — crucially — the verdict the author *expects*
+//! the run to produce:
+//!
+//! ```text
+//! scenario "star8-two-nic-hang" {
+//!   topology star 8
+//!   coordinator on
+//!   flow 0 -> 1 validated size 256 pipeline 2
+//!   flow 2 -> 3 validated size 256 pipeline 2
+//!   phases { warmup 10ms fault 2490ms }
+//!   fault in fault at 5ms hang nodes 1 3 skew 500us
+//!   slo { flow_blackout 2s }
+//!   expect survived
+//! }
+//! ```
+//!
+//! The pipeline is [`scan`](scan::scan) → [`parse`](parse::parse) →
+//! [`compile`](compile::compile) → [`run_compiled`](run::run_compiled):
+//! text to spanned tokens, tokens to a validated [`Spec`](ast::Spec)
+//! (every error a `line:col`-anchored [`Diag`](parse::Diag)), spec to
+//! the existing chaos + workload engines, and execution to a
+//! [`ScenarioOutcome`](run::ScenarioOutcome) whose verdict is checked
+//! against the `expect` line. The language is fully round-trippable —
+//! [`print`](print::print) emits the canonical spelling and
+//! `parse(print(spec)) == spec` — and total: the scanner tokenizes any
+//! byte soup without panicking, a property the fuzz suite pins.
+//!
+//! Scenario files live in `scenarios/` (goldens in `scenarios/golden/`,
+//! rejection fixtures in `scenarios/bad/`); `docs/SCENARIOS.md` is the
+//! grammar reference.
+
+pub mod ast;
+pub mod compile;
+pub mod gen;
+pub mod parse;
+pub mod print;
+pub mod run;
+pub mod scan;
+
+pub use ast::Spec;
+pub use compile::{compile, CompiledScenario, DEFAULT_SEED};
+pub use gen::gen_spec;
+pub use parse::{parse, render_diags, Diag};
+pub use print::print;
+pub use run::{run_compiled, run_corpus_parallel, run_text, ExpectMismatch, ScenarioOutcome};
+pub use scan::{scan, Tok, TokKind};

@@ -1,0 +1,250 @@
+//! Scenario execution: compiled campaigns → verdicts and golden JSON.
+//!
+//! [`run_compiled`] executes the chaos run (always) and the load run
+//! plus its plain-GM twin (when compiled in), folds every oracle and
+//! SLO violation into one [`ScenarioOutcome`], and classifies the
+//! verdict with the same [`classify_scenario`] rule the chaos bench
+//! uses. [`ScenarioOutcome::check`] then compares that verdict against
+//! the file's `expect` line — a disagreement is a typed
+//! [`ExpectMismatch`] naming both sides, never a silent pass.
+//!
+//! Outcomes serialize to byte-stable, integer-valued JSON
+//! ([`ScenarioOutcome::to_json`], schema `ftgm-scenario-v1`): the
+//! golden corpus under `scenarios/golden/` pins these bytes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use ftgm_faults::chaos::{run_scenario, ChaosReport};
+use ftgm_faults::{classify_scenario, ScenarioVerdict};
+use ftgm_workload::{run_spec, SloReport};
+
+use crate::compile::CompiledScenario;
+
+/// The scenario's pinned verdict disagreed with the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpectMismatch {
+    /// Scenario name.
+    pub scenario: String,
+    /// What the file's `expect` line pinned.
+    pub expected: ScenarioVerdict,
+    /// What the run actually produced.
+    pub actual: ScenarioVerdict,
+}
+
+impl fmt::Display for ExpectMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected verdict '{}' but the run produced '{}'",
+            self.scenario,
+            self.expected.label(),
+            self.actual.label()
+        )
+    }
+}
+
+/// Everything one scenario run produced.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Seed every run replayed from.
+    pub seed: u64,
+    /// The verdict the file pinned.
+    pub expected: ScenarioVerdict,
+    /// The verdict the run produced.
+    pub verdict: ScenarioVerdict,
+    /// The chaos run's oracle report.
+    pub chaos: ChaosReport,
+    /// Total `InterfaceDead` escalations across nodes.
+    pub escalations: u64,
+    /// Coordinator-driven zone reroutes observed.
+    pub zone_reroutes: u64,
+    /// The FTGM load run, when the scenario declared load flows.
+    pub load: Option<SloReport>,
+    /// The plain-GM twin, when a `p99_overhead` bound demanded one.
+    pub gm: Option<SloReport>,
+    /// SLO-bound violations from the load run (empty = all bounds held).
+    pub slo_violations: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// Compares the produced verdict against the pinned one.
+    pub fn check(&self) -> Result<(), ExpectMismatch> {
+        if self.verdict == self.expected {
+            Ok(())
+        } else {
+            Err(ExpectMismatch {
+                scenario: self.name.clone(),
+                expected: self.expected,
+                actual: self.verdict,
+            })
+        }
+    }
+
+    /// Every violation, chaos oracles first, then SLO bounds.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = self.chaos.violations.clone();
+        v.extend(self.slo_violations.iter().cloned());
+        v
+    }
+
+    /// Serializes the outcome as byte-stable, integer-valued JSON (the
+    /// golden format, schema `ftgm-scenario-v1`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"ftgm-scenario-v1\",");
+        let _ = writeln!(out, "  \"name\": \"{}\",", self.name);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"expected\": \"{}\",", self.expected.label());
+        let _ = writeln!(out, "  \"verdict\": \"{}\",", self.verdict.label());
+        let _ = writeln!(out, "  \"chaos_ok\": {},", self.chaos.ok());
+        let _ = writeln!(out, "  \"escalations\": {},", self.escalations);
+        let _ = writeln!(out, "  \"zone_reroutes\": {},", self.zone_reroutes);
+        out.push_str("  \"nodes\": [");
+        for (i, n) in self.chaos.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"node\": {}, \"resolution\": \"{}\", \"recoveries\": {}, \
+                 \"escalations\": {}, \"false_alarms\": {}}}",
+                n.node, n.resolution, n.recoveries, n.escalations, n.false_alarms
+            );
+        }
+        out.push_str("\n  ],\n  \"flows\": [");
+        for (i, f) in self.chaos.flows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"src\": {}, \"dst\": {}, \"delivered\": {}, \"progress\": {}, \
+                 \"corrupt\": {}, \"misordered\": {}, \"iface_dead\": {}, \"blackout_ns\": {}}}",
+                f.src, f.dst, f.delivered, f.progress, f.corrupt, f.misordered, f.iface_dead,
+                f.blackout_ns
+            );
+        }
+        out.push_str("\n  ],\n  \"violations\": [");
+        let violations = self.violations();
+        for (i, v) in violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\"", v.replace('"', "'"));
+        }
+        out.push_str(if violations.is_empty() { "],\n" } else { "\n  ],\n" });
+        embed_report(&mut out, "load", self.load.as_ref(), true);
+        embed_report(&mut out, "gm", self.gm.as_ref(), false);
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Embeds an optional [`SloReport`] as a nested object (or `null`),
+/// re-indenting its serialized form two spaces.
+fn embed_report(out: &mut String, key: &str, report: Option<&SloReport>, comma: bool) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "  \"{key}\": ");
+    match report {
+        None => out.push_str("null"),
+        Some(r) => out.push_str(&r.to_json().replace('\n', "\n  ")),
+    }
+    out.push_str(if comma { ",\n" } else { "\n" });
+}
+
+/// Runs one compiled scenario end to end and classifies the verdict.
+pub fn run_compiled(c: &CompiledScenario) -> ScenarioOutcome {
+    let chaos = run_scenario(&c.chaos, c.seed);
+    let load = c.workload.as_ref().map(run_spec);
+    let gm = c.gm_twin.as_ref().map(run_spec);
+
+    let mut slo_violations = Vec::new();
+    if let Some(ftgm) = &load {
+        if c.checks.recovery {
+            slo_violations.extend(c.bounds.check_recovery(ftgm));
+        }
+        match (&gm, c.checks.overhead) {
+            (Some(gm), true) => {
+                slo_violations.extend(c.bounds.check_steady_overhead(gm, ftgm));
+            }
+            _ => {
+                // No GM twin: check the completion bound directly.
+                if c.checks.completed {
+                    match ftgm.steady() {
+                        Some(s) if s.completed_permille < c.bounds.min_steady_completed_permille => {
+                            slo_violations.push(format!(
+                                "{}: steady completion ratio {}‰ below {}‰",
+                                ftgm.name,
+                                s.completed_permille,
+                                c.bounds.min_steady_completed_permille
+                            ));
+                        }
+                        Some(_) => {}
+                        None => slo_violations
+                            .push(format!("{}: missing steady phase in report", ftgm.name)),
+                    }
+                }
+            }
+        }
+    }
+
+    let escalations: u64 = chaos.nodes.iter().map(|n| n.escalations).sum();
+    let zone_reroutes = chaos.metrics.counter("ZoneRerouteTriggered");
+    let ok = chaos.ok() && slo_violations.is_empty();
+    let verdict = classify_scenario(ok, escalations, zone_reroutes);
+
+    ScenarioOutcome {
+        name: c.name.clone(),
+        seed: c.seed,
+        expected: c.expect,
+        verdict,
+        chaos,
+        escalations,
+        zone_reroutes,
+        load,
+        gm,
+        slo_violations,
+    }
+}
+
+/// Runs a corpus with a slot-disciplined worker pool: an atomic cursor
+/// hands out indices, results land in their input slot, so the output
+/// order — and every byte of every outcome — is independent of the
+/// thread count.
+pub fn run_corpus_parallel(corpus: &[CompiledScenario], threads: usize) -> Vec<ScenarioOutcome> {
+    let n = corpus.len();
+    let slots: Mutex<Vec<Option<ScenarioOutcome>>> = Mutex::new(vec![None; n]);
+    let cursor = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1).min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                let Some(c) = corpus.get(i) else { break };
+                let outcome = run_compiled(c);
+                let mut guard = match slots.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                if let Some(slot) = guard.get_mut(i) {
+                    *slot = Some(outcome);
+                }
+            });
+        }
+    });
+    let inner = match slots.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    inner.into_iter().flatten().collect()
+}
+
+/// Parses, compiles, and runs one scenario text.
+pub fn run_text(src: &str) -> Result<ScenarioOutcome, Vec<crate::parse::Diag>> {
+    let spec = crate::parse::parse(src)?;
+    Ok(run_compiled(&crate::compile::compile(&spec)))
+}

@@ -1,0 +1,279 @@
+//! Scenario-file scanner: raw text → spanned tokens.
+//!
+//! The scanner is total: every input byte lands in exactly one token
+//! (trivia — whitespace and `#` comments — included), tokens are
+//! contiguous, and nothing panics on arbitrary bytes. The fuzz suite
+//! holds the scanner to that contract directly, so the parser above it
+//! can trust spans without re-checking bounds.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// `[A-Za-z_][A-Za-z0-9_]*` — keywords and names.
+    Ident,
+    /// `[0-9]+` with no letter suffix.
+    Int,
+    /// `[0-9]+` immediately followed by an identifier suffix (`10ms`).
+    /// The parser validates the suffix against the known units.
+    IntSuffix,
+    /// A double-quoted string (no escapes). `closed` is false when the
+    /// line or file ended before the closing quote.
+    Str {
+        /// Whether the closing quote was found.
+        closed: bool,
+    },
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `..`
+    DotDot,
+    /// Whitespace run (trivia).
+    Space,
+    /// `#` comment to end of line (trivia).
+    Comment,
+    /// Any byte sequence the scanner has no rule for (one char each).
+    Unknown,
+}
+
+impl TokKind {
+    /// Trivia tokens carry no meaning; the parser skips them.
+    pub fn is_trivia(self) -> bool {
+        matches!(self, TokKind::Space | TokKind::Comment)
+    }
+}
+
+/// One token: kind plus byte span plus 1-based source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Start byte offset into the source.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte on its line.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    /// Advances one char (handling UTF-8 width and line/col tracking).
+    fn bump(&mut self) {
+        let Some(&b) = self.bytes.get(self.pos) else {
+            return;
+        };
+        let width = if b < 0x80 {
+            1
+        } else {
+            self.src
+                .get(self.pos..)
+                .and_then(|s| s.chars().next())
+                .map_or(1, char::len_utf8)
+        };
+        self.pos += width;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += width as u32;
+        }
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans `src` into a contiguous, byte-covering token stream.
+pub fn scan(src: &str) -> Vec<Tok> {
+    let mut s = Scanner {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = s.peek() {
+        let (start, line, col) = (s.pos, s.line, s.col);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.eat_while(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'));
+                TokKind::Space
+            }
+            b'#' => {
+                s.eat_while(|b| b != b'\n');
+                TokKind::Comment
+            }
+            b'"' => {
+                s.bump();
+                s.eat_while(|b| b != b'"' && b != b'\n');
+                let closed = s.peek() == Some(b'"');
+                if closed {
+                    s.bump();
+                }
+                TokKind::Str { closed }
+            }
+            b'{' => {
+                s.bump();
+                TokKind::LBrace
+            }
+            b'}' => {
+                s.bump();
+                TokKind::RBrace
+            }
+            b':' => {
+                s.bump();
+                TokKind::Colon
+            }
+            b',' => {
+                s.bump();
+                TokKind::Comma
+            }
+            b'-' if s.peek2() == Some(b'>') => {
+                s.bump();
+                s.bump();
+                TokKind::Arrow
+            }
+            b'.' if s.peek2() == Some(b'.') => {
+                s.bump();
+                s.bump();
+                TokKind::DotDot
+            }
+            b'0'..=b'9' => {
+                s.eat_while(|b| b.is_ascii_digit());
+                if s.peek().is_some_and(is_ident_start) {
+                    s.eat_while(is_ident_continue);
+                    TokKind::IntSuffix
+                } else {
+                    TokKind::Int
+                }
+            }
+            b if is_ident_start(b) => {
+                s.eat_while(is_ident_continue);
+                TokKind::Ident
+            }
+            _ => {
+                s.bump();
+                TokKind::Unknown
+            }
+        };
+        toks.push(Tok {
+            kind,
+            start,
+            end: s.pos,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_cover_every_byte_contiguously() {
+        let src = "scenario \"x\" {\n  topology star 8 # hi\n  flow 0 -> 1\n}\n";
+        let toks = scan(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "{t:?}");
+            assert!(t.end > t.start, "{t:?}");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = scan("ab\ncd");
+        let cd = toks.last().copied().unwrap_or(toks[0]);
+        assert_eq!((cd.line, cd.col), (2, 1));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+    }
+
+    #[test]
+    fn int_suffix_and_arrow_and_ranges() {
+        let src = "10ms 40us..80us 0 -> 1";
+        let kinds: Vec<TokKind> = scan(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::IntSuffix,
+                TokKind::IntSuffix,
+                TokKind::DotDot,
+                TokKind::IntSuffix,
+                TokKind::Int,
+                TokKind::Arrow,
+                TokKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_flagged_not_panicked() {
+        let toks = scan("\"abc\ndef");
+        assert_eq!(toks[0].kind, TokKind::Str { closed: false });
+        let toks = scan("\"abc");
+        assert_eq!(toks[0].kind, TokKind::Str { closed: false });
+    }
+
+    #[test]
+    fn non_ascii_bytes_become_unknown_tokens() {
+        let src = "flow \u{2192} 1";
+        let toks = scan(src);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Unknown));
+        let total: usize = toks.iter().map(|t| t.end - t.start).sum();
+        assert_eq!(total, src.len());
+    }
+}

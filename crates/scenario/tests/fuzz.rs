@@ -1,0 +1,128 @@
+//! Grammar fuzzing: the round-trip law and total-function guarantees.
+//!
+//! Two properties pin the language down:
+//!
+//! 1. **Round trip** — for any valid spec (from the deterministic
+//!    generator), `parse(print(spec)) == spec`, exactly. The printer is
+//!    the canonical spelling; the parser must recover every field.
+//! 2. **No panic, full coverage** — for arbitrary byte soup, the
+//!    scanner tokenizes every byte into contiguous spans, and the
+//!    parser either returns a spec or diagnostics whose positions are
+//!    genuine `line:col` coordinates inside the input. Nothing panics.
+
+use ftgm_scenario::scan::TokKind;
+use ftgm_scenario::{gen_spec, parse, print, render_diags, scan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse ∘ print is the identity on generator output.
+    #[test]
+    fn round_trip_parse_print(seed in any::<u64>()) {
+        let spec = gen_spec(seed);
+        let text = print(&spec);
+        match parse(&text) {
+            Ok(reparsed) => prop_assert_eq!(reparsed, spec),
+            Err(diags) => panic!(
+                "canonical text rejected (seed {seed}):\n{text}\n{}",
+                render_diags(&diags)
+            ),
+        }
+    }
+
+    /// Printing is deterministic and idempotent through a parse.
+    #[test]
+    fn print_is_stable_through_reparse(seed in any::<u64>()) {
+        let spec = gen_spec(seed);
+        let text = print(&spec);
+        if let Ok(reparsed) = parse(&text) {
+            prop_assert_eq!(print(&reparsed), text);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The scanner is total: every byte of arbitrary input lands in
+    /// exactly one token, tokens are contiguous, and spans slice the
+    /// source without panicking.
+    #[test]
+    fn scanner_covers_arbitrary_bytes(input in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let text = String::from_utf8_lossy(&input).into_owned();
+        let toks = scan(&text);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert_eq!(t.start, pos);
+            prop_assert!(t.end > t.start);
+            let _ = t.text(&text); // must not panic, span must slice
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, text.len());
+    }
+
+    /// The parser never panics on byte soup, and every diagnostic
+    /// carries a position that exists in the input.
+    #[test]
+    fn parser_never_panics_diags_have_real_spans(
+        input in proptest::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let text = String::from_utf8_lossy(&input).into_owned();
+        if let Err(diags) = parse(&text) {
+            prop_assert!(!diags.is_empty());
+            let lines: Vec<&str> = text.split('\n').collect();
+            for d in &diags {
+                prop_assert!(d.line >= 1, "line must be 1-based: {}", d.render());
+                prop_assert!(d.col >= 1, "col must be 1-based: {}", d.render());
+                // Position must be inside the input (or the EOF slot one
+                // past the end of the last line).
+                let idx = (d.line - 1) as usize;
+                prop_assert!(idx < lines.len() || (idx == lines.len() && d.col == 1),
+                    "line {} outside a {}-line input", d.line, lines.len());
+                if let Some(line) = lines.get(idx) {
+                    prop_assert!((d.col as usize) <= line.len() + 1,
+                        "col {} outside line {:?}", d.col, line);
+                }
+            }
+        }
+    }
+
+    /// Near-miss inputs: mutate one byte of a valid canonical file.
+    /// The parser must still return Ok or well-formed diagnostics.
+    #[test]
+    fn single_byte_mutations_never_panic(seed in any::<u64>(), pos in any::<u16>(), byte in any::<u8>()) {
+        let text = print(&gen_spec(seed));
+        let mut bytes = text.into_bytes();
+        if bytes.is_empty() {
+            return;
+        }
+        let i = usize::from(pos) % bytes.len();
+        bytes[i] = byte;
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        match parse(&mutated) {
+            Ok(_) => {}
+            Err(diags) => prop_assert!(!diags.is_empty()),
+        }
+    }
+}
+
+/// The scanner kinds reported for the canonical corpus header are
+/// stable (a cheap anchor so token kinds do not silently drift).
+#[test]
+fn header_token_kinds_are_stable() {
+    let toks: Vec<TokKind> = scan("scenario \"x\" {}")
+        .into_iter()
+        .filter(|t| !t.kind.is_trivia())
+        .map(|t| t.kind)
+        .collect();
+    assert_eq!(
+        toks,
+        vec![
+            TokKind::Ident,
+            TokKind::Str { closed: true },
+            TokKind::LBrace,
+            TokKind::RBrace,
+        ]
+    );
+}
