@@ -66,6 +66,14 @@ step scale-smoke 600 cargo run --release -q -p ftgm-bench --bin scale -- --smoke
 # intentional behavior change, regenerate with: cargo run --release -p
 # ftgm-bench --bin scenariox -- --update (see docs/SCENARIOS.md).
 step scenario-bench 900 cargo run --release -q -p ftgm-bench --bin scenariox
+# MPI-tier smoke: the small recovery-under-collective cells (16-rank
+# allreduce/broadcast, 8-rank RMA, each with a fault-free twin plus hang
+# and spare-restart variants) as a differential gate: fault cells must
+# reproduce their twin's checksum bit-for-bit and stay under the 2 s
+# blackout bound. The full {256,1024}-rank sweep that rewrites
+# BENCH_mpi.json is run manually: cargo run --release -p ftgm-bench
+# --bin mpi.
+step mpi-bench 600 cargo run --release -q -p ftgm-bench --bin mpi -- --smoke
 
 # Schema sanity: the committed summaries must carry the expected keys and
 # stay integer-valued (a float would mean platform-dependent
@@ -96,6 +104,14 @@ for key in '"schema": "ftgm-chaos-v1"' '"scenarios"' '"verdict"' \
         exit 1
     }
 done
+for key in '"schema": "ftgm-mpi-v1"' '"cells"' '"checksum"' '"finishers"' \
+    '"respawns"' '"replayed_instances"' '"blackout_ns"' '"completed"' \
+    '"violations": 0'; do
+    grep -q "$key" BENCH_mpi.json || {
+        echo "BENCH_mpi.json: missing required key $key" >&2
+        exit 1
+    }
+done
 for key in '"schema": "ftgm-scenario-v1"' '"corpus"' '"mismatches": 0' \
     '"violations": 0' '"golden_diffs": 0' '"scenarios"' '"expected"' \
     '"verdict"'; do
@@ -114,7 +130,7 @@ for key in '"schema": "ftgm-lint-v1"' '"rules"' '"new_count": 0' \
         exit 1
     }
 done
-for f in BENCH_slo.json BENCH_scale.json BENCH_chaos.json \
+for f in BENCH_slo.json BENCH_scale.json BENCH_chaos.json BENCH_mpi.json \
     results/lint_report.json results/scenario_summary.json; do
     if grep -Eq ':[[:space:]]*-?[0-9]+\.' "$f"; then
         echo "$f: non-integer numeric value found" >&2

@@ -17,6 +17,7 @@
 //! | §5.2     | `effectiveness` | `ftgm_faults` with FTGM |
 //! | §4.2     | `watchdog_gap` | [`measure_ltimer_gaps`] |
 
+pub mod mpi;
 pub mod scale;
 
 use std::cell::RefCell;

@@ -654,6 +654,29 @@ impl World {
         id
     }
 
+    /// Detaches the application on `(node, port)` and closes the port,
+    /// freeing the slot for a respawn. Events already scheduled for the
+    /// detached app are dropped at delivery (its slot is empty). Returns
+    /// `true` if an app was attached there.
+    ///
+    /// On a frozen (crashed) host only the binding is cleared — the dead
+    /// firmware is not asked to close anything.
+    pub fn detach_app(&mut self, node: NodeId, port: u8) -> bool {
+        let n = node.0 as usize;
+        let Some(hp) = self.nodes[n].ports[port as usize].take() else {
+            return false;
+        };
+        let had_app = hp.app.is_some();
+        if let Some(id) = hp.app {
+            self.apps[id.0] = None;
+        }
+        if !self.nodes[n].frozen() {
+            self.nodes[n].mcp.close_port(port);
+            self.sync_node(n);
+        }
+        had_app
+    }
+
     /// Runs `f` with the application and a context, unless its host froze.
     fn with_app(&mut self, id: AppId, f: impl FnOnce(&mut Box<dyn App>, &mut Ctx<'_>)) {
         let (node, port) = self.app_binding[id.0];

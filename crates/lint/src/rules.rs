@@ -70,12 +70,19 @@ const R1_FILES: [&str; 10] = [
 /// the crate would abort the run it was measuring. The scenario DSL
 /// qualifies end to end: its parser must be total over arbitrary bytes
 /// (the fuzz suite feeds it byte soup), and its compiled campaigns run
-/// through the same hangs and recoveries as the workload crate.
-const R1_DIRS: [&str; 2] = ["crates/workload/src/", "crates/scenario/src/"];
+/// through the same hangs and recoveries as the workload crate. The MPI
+/// tier is middleware *above* the failures: its runtime keeps executing
+/// through NIC deaths, shrinks and spare respawns, so a panic anywhere
+/// in the crate turns a survivable fault into an abort.
+const R1_DIRS: [&str; 3] = [
+    "crates/workload/src/",
+    "crates/scenario/src/",
+    "crates/mpi/src/",
+];
 
 /// R2: crates whose code runs under (or feeds state into) the
 /// deterministic simulation.
-const R2_DIRS: [&str; 8] = [
+const R2_DIRS: [&str; 9] = [
     "crates/sim/src/",
     "crates/net/src/",
     "crates/mcp/src/",
@@ -84,6 +91,7 @@ const R2_DIRS: [&str; 8] = [
     "crates/faults/src/",
     "crates/workload/src/",
     "crates/scenario/src/",
+    "crates/mpi/src/",
 ];
 
 /// R3: the only modules allowed to assign sequence-number fields
@@ -151,8 +159,13 @@ pub(crate) fn r2_covers(rel: &str) -> bool {
 /// named entry fns below): the recovery state machine, the FTD, the
 /// replay/backup layers, and the observability modules that run inline
 /// with recovery. `crates/core/src/lib.rs` is the FtSystem glue — its
-/// hook closures *are* the paper's FAULT_DETECTED handlers.
-pub(crate) const R7_ENTRY_FILES: [&str; 10] = [
+/// hook closures *are* the paper's FAULT_DETECTED handlers. The MPI
+/// tier's `recovery.rs` holds the restart planner the harness controller
+/// runs when a rank is declared dead (`plan_rank_restart` /
+/// `apply_rank_restart`, plus the membership and suspicion machinery
+/// they read) — a panic there strands the whole job mid-restart.
+pub(crate) const R7_ENTRY_FILES: [&str; 11] = [
+    "crates/mpi/src/recovery.rs",
     "crates/core/src/recovery.rs",
     "crates/core/src/ftd.rs",
     "crates/core/src/lib.rs",
@@ -183,8 +196,10 @@ pub(crate) const R7_ENTRY_FNS: [(&str, &str); 2] = [
 /// are the byte-stable JSON emitters that ci.sh grep-gates as
 /// integer-only; `CampaignResult::to_json` in `faults/src/campaign.rs`
 /// is deliberately absent — its Table-1 percentages are floats by design.
-pub(crate) const R9_ENTRY_FNS: [(&str, &str); 16] = [
+pub(crate) const R9_ENTRY_FNS: [(&str, &str); 18] = [
     ("crates/bench/src/bin/chaosx.rs", "summary_json"),
+    ("crates/bench/src/mpi.rs", "cell_json"),
+    ("crates/bench/src/mpi.rs", "summary_json"),
     ("crates/bench/src/bin/scenariox.rs", "summary_json"),
     ("crates/bench/src/bin/slo.rs", "summary_json"),
     ("crates/scenario/src/run.rs", "to_json"),

@@ -365,3 +365,53 @@ fn r9_good_is_clean() {
     );
     assert!(f.is_empty(), "{f:#?}");
 }
+
+const MPI_ENTRY_STUB: &str =
+    "pub fn plan_rank_restart(spares: &[u32]) -> u32 { choose_spare(spares) }\n";
+
+#[test]
+fn mpi_bad_chains_from_the_restart_planner_entry() {
+    // crates/mpi/src/recovery.rs seeds R7: a panicking helper reachable
+    // from `plan_rank_restart` is reported with the full chain.
+    let f = scan_fixture_with_entry(
+        "mpi_bad.rs",
+        "crates/host/src/respawn_util.rs",
+        "crates/mpi/src/recovery.rs",
+        MPI_ENTRY_STUB,
+    );
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert_all_rule(&f, rules::TRANSITIVE_PANIC);
+    for x in &f {
+        assert_eq!(x.symbol, "slot_of");
+        assert_eq!(
+            chain_symbols(x),
+            vec!["plan_rank_restart", "choose_spare", "slot_of"]
+        );
+    }
+    assert!(f.iter().any(|x| x.snippet.contains("unwrap")));
+    assert!(f.iter().any(|x| x.snippet.contains("spares[0]")));
+}
+
+#[test]
+fn mpi_bad_is_r1_governed_inside_the_mpi_crate() {
+    // The same two lines need no entry stub when the file lives in
+    // crates/mpi/src/ — the whole crate is recovery-path code.
+    let f = scan_fixture("mpi_bad.rs", "crates/mpi/src/respawn_util.rs");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert_all_rule(&f, rules::RECOVERY_NO_PANIC);
+}
+
+#[test]
+fn mpi_good_is_clean_as_mpi_source_and_under_the_entry() {
+    // R1 + R2 per-line over an mpi path: the lookalikes must not fire.
+    let f = scan_fixture("mpi_good.rs", "crates/mpi/src/respawn_util.rs");
+    assert!(f.is_empty(), "{f:#?}");
+    // And nothing reachable from the restart planner panics.
+    let f = scan_fixture_with_entry(
+        "mpi_good.rs",
+        "crates/host/src/respawn_util.rs",
+        "crates/mpi/src/recovery.rs",
+        MPI_ENTRY_STUB,
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}

@@ -501,11 +501,29 @@ impl McpMachine {
     /// sequence number ("the last sequence number received on each
     /// stream"). Stale half-assembled messages are discarded; Go-Back-N
     /// brings them back in full.
+    ///
+    /// The restore is a **forward-only merge** (wrap-aware). A stream is
+    /// keyed by the *sending* (node, port, priority) with no receiving
+    /// port, so on a multi-process interface the per-process recovery
+    /// handlers each restore their own ack-table view of a stream whose
+    /// messages interleaved across their ports — and a process that
+    /// received earlier messages on the stream holds a stale frontier.
+    /// Adopting a stale value would rewind `expected` below the sender's
+    /// cumulative ACK; the sender has already released those messages and
+    /// can never satisfy the resulting NACK, wedging the stream forever.
+    /// The same rule protects traffic accepted live between a re-entrant
+    /// handler's two restore passes.
     pub fn restore_receiver_stream(&mut self, key: StreamKey, expected: u32) {
-        self.rx_streams
-            .entry(key)
-            .or_insert_with(|| ReceiverStream::new(0))
-            .restore(expected);
+        if let Some(s) = self.rx_streams.get_mut(&key) {
+            if expected.wrapping_sub(s.expected()) as i32 <= 0 {
+                // The live stream is at or ahead of this backup's view:
+                // keep it, along with any in-progress assembly.
+                return;
+            }
+            s.restore(expected);
+        } else {
+            self.rx_streams.insert(key, ReceiverStream::new(expected));
+        }
         self.rx_assembly.remove(&key);
         self.rx_uncommitted.remove(&key);
         self.rx_nack_sent.remove(&key);
@@ -514,6 +532,16 @@ impl McpMachine {
     /// Receive-stream frontiers, for tests and state inspection.
     pub fn receiver_expected(&self, key: StreamKey) -> Option<u32> {
         self.rx_streams.get(&key).map(|s| s.expected())
+    }
+
+    /// Sender streams holding unacknowledged chunks, for stall diagnosis:
+    /// `(key, outstanding, retries, cum_acked, next_seq)`.
+    pub fn stalled_tx_streams(&self) -> Vec<(StreamKey, u32, u32, u32, u32)> {
+        self.tx_streams
+            .iter()
+            .filter(|(_, s)| s.outstanding() > 0)
+            .map(|(k, s)| (*k, s.outstanding(), s.retries(), s.cum_acked(), s.next_seq()))
+            .collect()
     }
 
     /// Test/experiment hook: forces the network processor to hang.
@@ -1766,14 +1794,44 @@ pub(crate) mod tests {
         rig.b.on_frame(WireFrame { bytes: f });
         rig.settle();
         assert_eq!(rig.b.stats().data_rx_accepted, 1);
-        // Recovery restores the stream: the half-assembled message dies.
-        rig.b
-            .restore_receiver_stream(StreamKey::per_port(NodeId(0), 0, false), 0);
-        assert_eq!(
-            rig.b.receiver_expected(StreamKey::per_port(NodeId(0), 0, false)),
-            Some(0)
-        );
+        let key = StreamKey::per_port(NodeId(0), 0, false);
+        // A restore carrying a stale frontier must NOT rewind the live
+        // stream (that would wedge it below the sender's released ACKs) —
+        // and must leave the in-progress assembly alone.
+        rig.b.restore_receiver_stream(key, 0);
+        assert_eq!(rig.b.receiver_expected(key), Some(1));
+        // After a card reset the stream is gone; the restore re-creates it
+        // fresh, and the half-assembled message died with the SRAM.
+        let image = rig.b.firmware().bytes().to_vec();
+        rig.b.reset_and_reload(&image);
+        rig.b.boot(rig.now);
+        rig.b.restore_receiver_stream(key, 1);
+        assert_eq!(rig.b.receiver_expected(key), Some(1));
         assert_eq!(rig.b.stats().messages_delivered, 0);
+    }
+
+    #[test]
+    fn restore_merges_multi_port_views_forward_only() {
+        // One sending stream fans out to two receiving ports; each port's
+        // recovery handler restores its own (stale or current) ack-table
+        // view. The stream must end at the most advanced frontier no
+        // matter which handler runs last.
+        let mut m = McpMachine::new(NodeId(1), McpParams::ftgm());
+        m.boot(SimTime::ZERO);
+        let key = StreamKey::per_port(NodeId(0), 2, false);
+        m.restore_receiver_stream(key, 3); // port 2's view: saw seq 2 last
+        m.restore_receiver_stream(key, 2); // port 1's stale view: saw seq 1
+        assert_eq!(m.receiver_expected(key), Some(3), "stale view must not rewind");
+        m.restore_receiver_stream(key, 5);
+        assert_eq!(m.receiver_expected(key), Some(5), "newer view advances");
+        // Wrap-aware: a frontier just past u32::MAX is ahead of one just
+        // below it.
+        let wkey = StreamKey::per_port(NodeId(0), 3, false);
+        m.restore_receiver_stream(wkey, u32::MAX);
+        m.restore_receiver_stream(wkey, 1);
+        assert_eq!(m.receiver_expected(wkey), Some(1));
+        m.restore_receiver_stream(wkey, u32::MAX);
+        assert_eq!(m.receiver_expected(wkey), Some(1), "wrapped stale view must not rewind");
     }
 
     #[test]

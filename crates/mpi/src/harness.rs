@@ -1,0 +1,271 @@
+//! Job harness: builds a world, places ranks (and hot spares) on it,
+//! spawns their runtimes, and — when failure semantics are enabled —
+//! runs the *controller*: the management-plane agent that turns ripened
+//! suspicions into membership changes and spare respawns.
+//!
+//! The controller models the piece of an MPI launcher (`mpirun`, a PMIx
+//! server) that lives on the host CPUs: it survives NIC deaths by
+//! construction, which is why membership and the checkpoint replica
+//! directory live behind it rather than on any rank's interface.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ftgm_gm::{World, WorldConfig};
+use ftgm_net::NodeId;
+use ftgm_sim::{SimDuration, SimTime};
+
+use crate::recovery::{apply_rank_restart, plan_rank_restart, RankSpec, RestartPlan};
+use crate::runner::{spawn_rank, HarnessState, MpiShared, RankProgram, RecoveryConfig};
+
+/// Program factory shared between initial spawn and spare respawn.
+type Factory = Rc<dyn Fn(u32) -> Box<dyn RankProgram>>;
+
+/// Builds and runs an MPI job over a GM world.
+pub struct MpiHarness {
+    /// The simulated network the job runs on.
+    pub world: World,
+    /// Management-plane state shared by ranks and controller.
+    pub shared: Rc<MpiShared>,
+    /// Aggregate observation point (finish times, error counters).
+    pub state: Rc<RefCell<HarnessState>>,
+    ranks: Vec<RankSpec>,
+    factory: Rc<RefCell<Option<Factory>>>,
+    buf_size: Rc<RefCell<u32>>,
+}
+
+impl MpiHarness {
+    fn from_world(world: World, ranks: Vec<RankSpec>, spares: Vec<RankSpec>) -> MpiHarness {
+        MpiHarness {
+            world,
+            shared: MpiShared::new(ranks.clone(), spares),
+            state: Rc::new(RefCell::new(HarnessState::default())),
+            ranks,
+            factory: Rc::new(RefCell::new(None)),
+            buf_size: Rc::new(RefCell::new(4096)),
+        }
+    }
+
+    /// `n` ranks, one per host, on a single switch. No spares.
+    pub fn star(n: usize, config: WorldConfig) -> MpiHarness {
+        let world = World::star(n, config);
+        let ranks = (0..n)
+            .map(|i| RankSpec { node: NodeId(i as u16), port: 1 })
+            .collect();
+        MpiHarness::from_world(world, ranks, Vec::new())
+    }
+
+    /// A two-level fat tree with `ranks_per_host` ranks per host (ports
+    /// `1..=ranks_per_host`) and `spare_hosts` trailing hosts held out of
+    /// the job as hot spares (one spare rank slot each, port 1).
+    ///
+    /// `256 ranks = fat_tree(4, 16, 16, 1, ..)`;
+    /// `1024 ranks = fat_tree(8, 32, 16, 2, ..)`.
+    pub fn fat_tree(
+        spines: usize,
+        leaves: usize,
+        hosts_per_leaf: usize,
+        ranks_per_host: usize,
+        spare_hosts: usize,
+        config: WorldConfig,
+    ) -> MpiHarness {
+        let world = World::fat_tree(spines, leaves, hosts_per_leaf, config);
+        let hosts = leaves * hosts_per_leaf;
+        assert!(
+            spare_hosts < hosts,
+            "spare hosts must leave at least one working host"
+        );
+        assert!(
+            (1..=5).contains(&ranks_per_host),
+            "ranks_per_host must be 1..=5 (ports 1..=5; 6/7 reserved)"
+        );
+        let job_hosts = hosts - spare_hosts;
+        let mut ranks = Vec::new();
+        for h in 0..job_hosts {
+            for p in 0..ranks_per_host {
+                ranks.push(RankSpec { node: NodeId(h as u16), port: (p + 1) as u8 });
+            }
+        }
+        let spares = (job_hosts..hosts)
+            .map(|h| RankSpec { node: NodeId(h as u16), port: 1 })
+            .collect();
+        MpiHarness::from_world(world, ranks, spares)
+    }
+
+    /// A `cols x rows` switch torus, one host per switch,
+    /// `ranks_per_host` ranks each, with `spare_hosts` trailing hosts as
+    /// hot spares.
+    pub fn torus(
+        cols: usize,
+        rows: usize,
+        ranks_per_host: usize,
+        spare_hosts: usize,
+        config: WorldConfig,
+    ) -> MpiHarness {
+        let world = World::torus(cols, rows, config);
+        let hosts = cols * rows;
+        assert!(spare_hosts < hosts, "spare hosts must leave a working host");
+        assert!(
+            (1..=5).contains(&ranks_per_host),
+            "ranks_per_host must be 1..=5"
+        );
+        let job_hosts = hosts - spare_hosts;
+        let mut ranks = Vec::new();
+        for h in 0..job_hosts {
+            for p in 0..ranks_per_host {
+                ranks.push(RankSpec { node: NodeId(h as u16), port: (p + 1) as u8 });
+            }
+        }
+        let spares = (job_hosts..hosts)
+            .map(|h| RankSpec { node: NodeId(h as u16), port: 1 })
+            .collect();
+        MpiHarness::from_world(world, ranks, spares)
+    }
+
+    /// Number of ranks in the job (epoch-0 size; shrink reduces the live
+    /// count but never this).
+    pub fn nranks(&self) -> u32 {
+        self.ranks.len() as u32
+    }
+
+    /// Installs failure semantics. Must be called before [`spawn_all`]
+    /// (runtimes read the config at spawn to arm their poll alarms).
+    ///
+    /// [`spawn_all`]: MpiHarness::spawn_all
+    pub fn enable_recovery(&mut self, cfg: RecoveryConfig) {
+        *self.shared.recovery.borrow_mut() = Some(cfg);
+    }
+
+    /// Spawns every rank's runtime with programs from `factory`. With
+    /// recovery enabled, also starts the controller tick; the factory is
+    /// retained so a spare respawn can rebuild the dead rank's program.
+    pub fn spawn_all<F>(&mut self, buf_size: u32, factory: F)
+    where
+        F: Fn(u32) -> Box<dyn RankProgram> + 'static,
+    {
+        let factory: Factory = Rc::new(factory);
+        *self.factory.borrow_mut() = Some(Rc::clone(&factory));
+        *self.buf_size.borrow_mut() = buf_size;
+        for rank in 0..self.ranks.len() as u32 {
+            spawn_rank(
+                &mut self.world,
+                rank,
+                buf_size,
+                factory(rank),
+                Rc::clone(&self.shared),
+                Rc::clone(&self.state),
+                None,
+            );
+        }
+        if let Some(cfg) = *self.shared.recovery.borrow() {
+            let shared = Rc::clone(&self.shared);
+            let state = Rc::clone(&self.state);
+            let fac = Rc::clone(&self.factory);
+            let buf = Rc::clone(&self.buf_size);
+            self.world.schedule_call(cfg.controller, move |w| {
+                controller_tick(w, cfg, shared, state, fac, buf);
+            });
+        }
+    }
+
+    /// `true` once every live rank's program has run to completion.
+    pub fn all_done(&self) -> bool {
+        let live = self.shared.membership.borrow().live_count() as usize;
+        let state = self.state.borrow();
+        let mut done: Vec<u32> = state
+            .finished
+            .iter()
+            .map(|&(r, _)| r)
+            .filter(|&r| self.shared.membership.borrow().is_alive(r))
+            .collect();
+        done.sort_unstable();
+        done.dedup();
+        done.len() >= live
+    }
+
+    /// Runs the world until every live rank finished or `limit` elapses;
+    /// returns the completion time if the job finished. Sets the shared
+    /// halt flag on exit so poll alarms and controller ticks go quiet.
+    pub fn run_until_done(&mut self, limit: SimDuration) -> Option<SimTime> {
+        let deadline = self.world.now().checked_add(limit).unwrap_or(SimTime::MAX);
+        let step = SimDuration::from_ms(10);
+        let mut at = None;
+        while self.world.now() < deadline {
+            self.world.run_for(step);
+            if self.all_done() {
+                at = Some(
+                    self.state
+                        .borrow()
+                        .finished
+                        .iter()
+                        .map(|&(_, t)| t)
+                        .max()
+                        .unwrap_or(self.world.now()),
+                );
+                break;
+            }
+        }
+        self.shared.halt.set(true);
+        // A short drain lets in-flight protocol debris settle.
+        self.world.run_for(SimDuration::from_ms(1));
+        at
+    }
+}
+
+/// One controller tick: declare ripe suspects dead, apply the restart
+/// plan, detach the dead runtime, respawn onto a spare if the policy says
+/// so, and re-arm.
+fn controller_tick(
+    world: &mut World,
+    cfg: RecoveryConfig,
+    shared: Rc<MpiShared>,
+    state: Rc<RefCell<HarnessState>>,
+    factory: Rc<RefCell<Option<Factory>>>,
+    buf_size: Rc<RefCell<u32>>,
+) {
+    if shared.halt.get() {
+        return;
+    }
+    let now = world.now();
+    let ripe = shared.board.borrow().ripe(now, cfg.grace);
+    for (rank, kind) in ripe {
+        let (alive, old_spec) = {
+            let m = shared.membership.borrow();
+            (m.is_alive(rank), m.specs.get(rank as usize).copied())
+        };
+        if !alive {
+            shared.board.borrow_mut().retire(rank);
+            continue;
+        }
+        let plan = {
+            let m = shared.membership.borrow();
+            let r = shared.replicas.borrow();
+            plan_rank_restart(cfg.policy, rank, kind, now, &m, &r)
+        };
+        apply_rank_restart(&plan, &mut shared.membership.borrow_mut());
+        if let Some(spec) = old_spec {
+            world.detach_app(spec.node, spec.port);
+        }
+        if let RestartPlan::SpareRespawn { replica, .. } = &plan {
+            let program = factory.borrow().as_ref().map(|f| f(rank));
+            if let Some(program) = program {
+                let restore = (!replica.state.is_empty()).then(|| replica.state.clone());
+                spawn_rank(
+                    world,
+                    rank,
+                    *buf_size.borrow(),
+                    program,
+                    Rc::clone(&shared),
+                    Rc::clone(&state),
+                    restore,
+                );
+                state.borrow_mut().respawns += 1;
+            }
+        }
+        shared.board.borrow_mut().retire(rank);
+    }
+    let fac = factory;
+    world.schedule_call(cfg.controller, move |w| {
+        controller_tick(w, cfg, shared, state, fac, buf_size);
+    });
+}

@@ -1,6 +1,6 @@
 #![warn(missing_docs)]
 
-//! A minimal MPI-like middleware over the GM model.
+//! A fault-tolerant MPI-like application tier over the GM model.
 //!
 //! The paper's motivation names MPI explicitly: "Middleware, such as MPI,
 //! built on top of GM, consider GM send errors to be fatal and exit when
@@ -10,11 +10,20 @@
 //! working, unmodified, across an interface failure.
 //!
 //! This crate is that middleware, scaled to the simulation: ranks over GM
-//! ports, tag-matched point-to-point messaging ([`mailbox`]), and the
-//! classic collectives ([`collectives`]): dissemination **barrier**,
-//! binomial-tree **broadcast**, and ring **all-reduce**. Rank programs are
-//! written as sequential *operation streams* ([`Op`]); the middleware runs
-//! each operation's protocol and feeds the result back.
+//! ports, tag-matched point-to-point messaging ([`mailbox`]), the classic
+//! collectives ([`collectives`]) — dissemination **barrier**, binomial
+//! **broadcast**, ring and recursive-doubling **all-reduce**, 2-D torus
+//! **halo exchange** — and a one-sided **RMA** subsystem ([`rma`]) with
+//! replicated backing windows. Rank programs are written as sequential
+//! *operation streams* ([`Op`]); the middleware runs each operation's
+//! protocol and feeds the result back.
+//!
+//! Beyond FTGM's transparent recovery, the [`recovery`] module adds
+//! GASPI-style *application-visible* failure semantics: per-operation
+//! timeouts that surface typed [`RankFault`]s instead of hanging, and
+//! three restart policies — notify, **shrink** (re-plan collectives over
+//! the survivors) and **spare-node** (remap the dead rank onto a hot
+//! spare and replay from its last checkpoint).
 //!
 //! Nothing in this crate references `ftgm-core`: it runs identically on
 //! plain GM and on FTGM — the integration tests demonstrate that a
@@ -22,8 +31,15 @@
 //! fault-tolerance stack is installed.
 
 pub mod collectives;
+pub mod harness;
 pub mod mailbox;
+pub mod recovery;
+pub mod rma;
 pub mod runner;
 
+pub use harness::MpiHarness;
 pub use mailbox::{Envelope, TAG_USER_MAX};
-pub use runner::{spawn_rank, MpiHarness, Op, OpResult, RankProgram, RankSpec};
+pub use recovery::{FaultKind, RankFault, RankSpec, RestartPolicy};
+pub use runner::{
+    spawn_rank, HarnessState, MpiShared, Op, OpResult, RankProgram, RecoveryConfig,
+};

@@ -1,0 +1,540 @@
+//! Failure semantics: suspicion, membership, and restart planning.
+//!
+//! FTGM hides *transient* interface failures below the middleware — a hung
+//! LANai is reset and the collective resumes, invisibly. But FTGM also has
+//! a loud failure mode: after `max_attempts` recoveries inside the re-hang
+//! window it escalates to `InterfaceDead`, and the paper's unmodified MPI
+//! would abort the whole job. This module implements the GASPI-style
+//! answer for that case: *timeout-based failure notification* surfaced to
+//! the rank program as a typed [`RankFault`] (never a hang, never an
+//! abort), plus checkpoint-based restart under two policies —
+//! **shrink** (re-plan collectives over the surviving communicator) and
+//! **spare** (remap the dead rank onto a hot spare port and replay it from
+//! its last checkpoint).
+//!
+//! Everything here is *pure* bookkeeping: runtimes post suspicions to a
+//! [`SuspectBoard`], the harness controller calls [`plan_rank_restart`] /
+//! [`apply_rank_restart`] to transition the [`Membership`] to a new epoch,
+//! and rank runtimes observe the epoch change and rebind. None of these
+//! paths may panic — they are entry points for the lint's transitive
+//! panic-reachability rule (R7).
+
+use std::collections::BTreeMap;
+
+use ftgm_net::NodeId;
+use ftgm_sim::SimTime;
+
+/// Where a rank lives: a GM port on a host interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankSpec {
+    /// Host interface.
+    pub node: NodeId,
+    /// GM port on that interface.
+    pub port: u8,
+}
+
+/// What to do when a rank is declared dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Only notify: surviving programs receive a [`RankFault`] result and
+    /// decide for themselves (the GASPI baseline).
+    Notify,
+    /// Shrink the communicator: collectives re-plan over the survivors;
+    /// programs receive the fault and continue with a smaller world.
+    Shrink,
+    /// Respawn the dead rank on a hot spare port, restored from its last
+    /// checkpoint replica; survivors replay the interrupted collective.
+    Spare,
+}
+
+/// Why a rank was declared dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An operation exceeded its deadline and FTGM never brought the
+    /// interface back (or kept it down past the suspicion grace).
+    OpTimeout,
+    /// FTGM escalated the interface to dead (`InterfaceDead`).
+    InterfaceDead,
+    /// A spare restart was requested but no spare port remained.
+    SparesExhausted,
+}
+
+/// A typed failure notification delivered to surviving rank programs in
+/// place of the operation result — the GASPI contract: *"a timeout instead
+/// of a hang, a notification instead of an abort."*
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankFault {
+    /// The rank that died.
+    pub rank: u32,
+    /// Why it was declared dead.
+    pub kind: FaultKind,
+    /// The membership epoch that the failure transitioned the job into.
+    pub epoch: u32,
+    /// When the controller declared the fault.
+    pub declared_at: SimTime,
+}
+
+/// A checkpointed rank state held in memory on a buddy rank.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Replica {
+    /// Collective sequence number of the `Checkpoint` op that wrote it.
+    pub ckpt_seqno: u64,
+    /// Opaque program state captured by the rank.
+    pub state: Vec<u8>,
+}
+
+/// In-memory replica store: rank → last checkpoint.
+///
+/// Modeled as a management-plane structure shared across the harness: a
+/// NIC failure kills the *interface*, not host memory, so the checkpoint a
+/// buddy acknowledged stays reachable for the restart path.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaStore {
+    entries: BTreeMap<u32, Replica>,
+}
+
+impl ReplicaStore {
+    /// Records `rank`'s checkpoint if it is newer than the stored one.
+    pub fn store(&mut self, rank: u32, ckpt_seqno: u64, state: Vec<u8>) {
+        let slot = self.entries.entry(rank).or_default();
+        if slot.state.is_empty() || ckpt_seqno >= slot.ckpt_seqno {
+            slot.ckpt_seqno = ckpt_seqno;
+            slot.state = state;
+        }
+    }
+
+    /// The last checkpoint for `rank`, if any.
+    pub fn lookup(&self, rank: u32) -> Option<&Replica> {
+        self.entries.get(&rank)
+    }
+}
+
+/// One rank's suspicion record on the board.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Suspicion {
+    /// When the first timeout was posted.
+    pub first_at: SimTime,
+    /// `true` once the rank's own runtime saw `InterfaceDead`.
+    pub interface_dead: bool,
+}
+
+/// Shared failure-detection board between rank runtimes and the harness
+/// controller.
+///
+/// Runtimes post op-timeout suspicions and `InterfaceDead` observations;
+/// the controller reads them on its tick and declares deaths. A suspicion
+/// is *cleared* when the suspected rank's traffic resumes (FTGM recovered
+/// the interface) — only suspicions that outlive the grace period, or that
+/// carry an `InterfaceDead` confirmation, become faults.
+#[derive(Clone, Debug, Default)]
+pub struct SuspectBoard {
+    suspicions: BTreeMap<u32, Suspicion>,
+}
+
+impl SuspectBoard {
+    /// Posts (or refreshes) an op-timeout suspicion against `rank`.
+    pub fn suspect(&mut self, rank: u32, at: SimTime) {
+        self.suspicions.entry(rank).or_insert(Suspicion {
+            first_at: at,
+            interface_dead: false,
+        });
+    }
+
+    /// Marks `rank` as confirmed dead by its own interface.
+    pub fn confirm_interface_dead(&mut self, rank: u32, at: SimTime) {
+        let s = self.suspicions.entry(rank).or_insert(Suspicion {
+            first_at: at,
+            interface_dead: false,
+        });
+        s.interface_dead = true;
+    }
+
+    /// Withdraws a suspicion (the suspected rank made progress again).
+    pub fn absolve(&mut self, rank: u32) {
+        let confirmed = self
+            .suspicions
+            .get(&rank)
+            .is_some_and(|s| s.interface_dead);
+        if !confirmed {
+            self.suspicions.remove(&rank);
+        }
+    }
+
+    /// Ranks whose suspicion has ripened into a death verdict: either the
+    /// interface is confirmed dead, or the suspicion outlived `grace`.
+    pub fn ripe(&self, now: SimTime, grace: ftgm_sim::SimDuration) -> Vec<(u32, FaultKind)> {
+        self.suspicions
+            .iter()
+            .filter_map(|(&rank, s)| {
+                if s.interface_dead {
+                    Some((rank, FaultKind::InterfaceDead))
+                } else if now.saturating_since(s.first_at) >= grace {
+                    Some((rank, FaultKind::OpTimeout))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Forgets `rank` entirely (after the controller acted on it).
+    pub fn retire(&mut self, rank: u32) {
+        self.suspicions.remove(&rank);
+    }
+
+    /// `true` when nothing is suspected.
+    pub fn is_quiet(&self) -> bool {
+        self.suspicions.is_empty()
+    }
+}
+
+/// The communicator's membership view, shared by every rank runtime.
+///
+/// Runtimes compare `epoch` against their cached value each poll tick; a
+/// bump means a restart happened and they must rebind (purge stale
+/// envelopes, rewind or re-plan, surface the fault).
+#[derive(Clone, Debug)]
+pub struct Membership {
+    /// Monotonic epoch; bumped by every applied restart plan.
+    pub epoch: u32,
+    /// Per-rank liveness (index = rank).
+    pub alive: Vec<bool>,
+    /// Per-rank placement; a spare restart rewrites the dead rank's entry.
+    pub specs: Vec<RankSpec>,
+    /// Unused hot-spare ports, consumed back-to-front.
+    pub spares: Vec<RankSpec>,
+    /// Collective seqno from which the current epoch replays (spare policy:
+    /// the restored rank's checkpoint + 1; otherwise the epoch's start).
+    pub replay_from: u64,
+    /// Faults declared so far, newest last.
+    pub faults: Vec<RankFault>,
+}
+
+impl Membership {
+    /// A fresh epoch-0 membership over `specs` with the given spare pool.
+    pub fn fresh(specs: Vec<RankSpec>, spares: Vec<RankSpec>) -> Membership {
+        Membership {
+            epoch: 0,
+            alive: vec![true; specs.len()],
+            specs,
+            spares,
+            replay_from: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Number of live ranks.
+    pub fn live_count(&self) -> u32 {
+        self.alive.iter().filter(|a| **a).count() as u32
+    }
+
+    /// `rank`'s dense index among the survivors (shrink-mode collectives
+    /// plan over these), or `None` if the rank is dead or out of range.
+    pub fn dense_index(&self, rank: u32) -> Option<u32> {
+        if !self.is_alive(rank) {
+            return None;
+        }
+        let dense = self
+            .alive
+            .iter()
+            .take(rank as usize)
+            .filter(|a| **a)
+            .count();
+        Some(dense as u32)
+    }
+
+    /// The rank holding dense index `dense` among survivors.
+    pub fn rank_at_dense(&self, dense: u32) -> Option<u32> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a)
+            .nth(dense as usize)
+            .map(|(r, _)| r as u32)
+    }
+
+    /// `true` if `rank` is in range and alive.
+    pub fn is_alive(&self, rank: u32) -> bool {
+        self.alive.get(rank as usize).copied().unwrap_or(false)
+    }
+
+    /// The next live rank after `rank` in ring order, skipping `rank`
+    /// itself — the checkpoint buddy / replica holder. `None` when `rank`
+    /// is the only survivor.
+    pub fn next_live(&self, rank: u32) -> Option<u32> {
+        let n = self.alive.len() as u32;
+        if n == 0 {
+            return None;
+        }
+        (1..n)
+            .map(|step| (rank + step) % n)
+            .find(|&cand| self.is_alive(cand))
+    }
+
+    /// Picks a usable spare: the NIC died with the host's whole interface,
+    /// so a spare port on the dead rank's node — or any node hosting a
+    /// dead rank — is no spare at all.
+    pub fn pick_spare(&self, dead_rank: u32) -> Option<RankSpec> {
+        let dead_nodes: Vec<_> = self
+            .specs
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r as u32 == dead_rank || !self.is_alive(r as u32))
+            .map(|(_, s)| s.node)
+            .collect();
+        self.spares
+            .iter()
+            .rev()
+            .find(|s| !dead_nodes.contains(&s.node))
+            .copied()
+    }
+}
+
+/// A restart decision produced by [`plan_rank_restart`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestartPlan {
+    /// Mark dead, bump epoch, deliver the fault; survivors carry on with
+    /// the membership unchanged otherwise.
+    NotifyOnly {
+        /// The fault to deliver.
+        fault: RankFault,
+    },
+    /// Mark dead, bump epoch, deliver the fault; collectives re-plan over
+    /// the dense survivor index.
+    ShrinkWorld {
+        /// The fault to deliver.
+        fault: RankFault,
+    },
+    /// Respawn the dead rank on `spare`, restored from `replica`; the
+    /// whole job replays collectives from `replay_from`.
+    SpareRespawn {
+        /// The fault to deliver.
+        fault: RankFault,
+        /// The spare port that takes over the dead rank's identity.
+        spare: RankSpec,
+        /// Checkpoint to restore (empty default when never checkpointed).
+        replica: Replica,
+        /// First collective seqno the new epoch must (re)execute.
+        replay_from: u64,
+    },
+}
+
+impl RestartPlan {
+    /// The fault carried by any plan variant.
+    pub fn fault(&self) -> RankFault {
+        match self {
+            RestartPlan::NotifyOnly { fault }
+            | RestartPlan::ShrinkWorld { fault }
+            | RestartPlan::SpareRespawn { fault, .. } => *fault,
+        }
+    }
+}
+
+/// Decides how to restart after `dead_rank`'s death (R7 entry: this path
+/// must never panic — a failed restart must degrade to a loud
+/// notification, not take the controller down).
+pub fn plan_rank_restart(
+    policy: RestartPolicy,
+    dead_rank: u32,
+    kind: FaultKind,
+    now: SimTime,
+    membership: &Membership,
+    replicas: &ReplicaStore,
+) -> RestartPlan {
+    let fault = RankFault {
+        rank: dead_rank,
+        kind,
+        epoch: membership.epoch.saturating_add(1),
+        declared_at: now,
+    };
+    match policy {
+        RestartPolicy::Notify => RestartPlan::NotifyOnly { fault },
+        RestartPolicy::Shrink => RestartPlan::ShrinkWorld { fault },
+        RestartPolicy::Spare => {
+            let Some(spare) = membership.pick_spare(dead_rank) else {
+                // Out of spares: degrade to a loud notification.
+                return RestartPlan::NotifyOnly {
+                    fault: RankFault {
+                        kind: FaultKind::SparesExhausted,
+                        ..fault
+                    },
+                };
+            };
+            let replica = replicas.lookup(dead_rank).cloned().unwrap_or_default();
+            // Replay restarts AT the checkpoint instance itself: the
+            // restored program re-issues the checkpoint as its first
+            // operation, and — because the checkpoint protocol runs its
+            // barrier before storing — a stored seqno proves every rank
+            // already entered that instance, so nobody needs a message
+            // from below the cut.
+            let replay_from = if replica.state.is_empty() {
+                0
+            } else {
+                replica.ckpt_seqno
+            };
+            RestartPlan::SpareRespawn {
+                fault,
+                spare,
+                replica,
+                replay_from,
+            }
+        }
+    }
+}
+
+/// Applies a plan to the membership: marks the dead rank, bumps the epoch,
+/// performs the spare remap, and logs the fault (R7 entry; must never
+/// panic). Returns the fault for delivery to surviving programs.
+pub fn apply_rank_restart(plan: &RestartPlan, membership: &mut Membership) -> RankFault {
+    let fault = plan.fault();
+    if let Some(slot) = membership.alive.get_mut(fault.rank as usize) {
+        *slot = false;
+    }
+    membership.epoch = membership.epoch.saturating_add(1);
+    match plan {
+        RestartPlan::NotifyOnly { .. } | RestartPlan::ShrinkWorld { .. } => {
+            membership.replay_from = 0;
+        }
+        RestartPlan::SpareRespawn {
+            spare, replay_from, ..
+        } => {
+            membership.spares.retain(|s| s != spare);
+            if let Some(slot) = membership.specs.get_mut(fault.rank as usize) {
+                *slot = *spare;
+            }
+            if let Some(slot) = membership.alive.get_mut(fault.rank as usize) {
+                *slot = true;
+            }
+            membership.replay_from = *replay_from;
+        }
+    }
+    membership.faults.push(fault);
+    fault
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgm_sim::SimDuration;
+
+    fn specs(n: u32) -> Vec<RankSpec> {
+        (0..n)
+            .map(|r| RankSpec {
+                node: NodeId(r as u16),
+                port: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn suspicion_ripens_by_grace_or_confirmation() {
+        let mut board = SuspectBoard::default();
+        let grace = SimDuration::from_ms(100);
+        board.suspect(3, SimTime::from_nanos(0));
+        assert!(board.ripe(SimTime::from_nanos(1), grace).is_empty());
+        assert_eq!(
+            board.ripe(SimTime::ZERO + grace, grace),
+            vec![(3, FaultKind::OpTimeout)]
+        );
+        // Absolved before ripening → gone.
+        board.absolve(3);
+        assert!(board.is_quiet());
+        // Interface-dead confirmation ripens immediately and survives absolve.
+        board.confirm_interface_dead(5, SimTime::from_nanos(10));
+        board.absolve(5);
+        assert_eq!(
+            board.ripe(SimTime::from_nanos(11), grace),
+            vec![(5, FaultKind::InterfaceDead)]
+        );
+        board.retire(5);
+        assert!(board.is_quiet());
+    }
+
+    #[test]
+    fn dense_index_skips_the_dead() {
+        let mut m = Membership::fresh(specs(5), Vec::new());
+        m.alive[2] = false;
+        assert_eq!(m.live_count(), 4);
+        assert_eq!(m.dense_index(0), Some(0));
+        assert_eq!(m.dense_index(1), Some(1));
+        assert_eq!(m.dense_index(2), None);
+        assert_eq!(m.dense_index(3), Some(2));
+        assert_eq!(m.dense_index(4), Some(3));
+        assert_eq!(m.rank_at_dense(2), Some(3));
+        assert_eq!(m.rank_at_dense(3), Some(4));
+        assert_eq!(m.rank_at_dense(4), None);
+        assert_eq!(m.next_live(1), Some(3));
+        assert_eq!(m.next_live(4), Some(0));
+    }
+
+    #[test]
+    fn spare_plan_restores_and_remaps() {
+        let spare = RankSpec {
+            node: NodeId(0),
+            port: 7,
+        };
+        let mut m = Membership::fresh(specs(4), vec![spare]);
+        let mut replicas = ReplicaStore::default();
+        replicas.store(2, 6, vec![9, 9]);
+        replicas.store(2, 4, vec![1]); // stale: ignored
+        let plan = plan_rank_restart(
+            RestartPolicy::Spare,
+            2,
+            FaultKind::InterfaceDead,
+            SimTime::from_nanos(42),
+            &m,
+            &replicas,
+        );
+        let RestartPlan::SpareRespawn {
+            fault,
+            spare: got,
+            replica,
+            replay_from,
+        } = &plan
+        else {
+            panic!("expected spare plan, got {plan:?}");
+        };
+        assert_eq!(*got, spare);
+        assert_eq!(replica.state, vec![9, 9]);
+        assert_eq!(*replay_from, 6);
+        assert_eq!(fault.epoch, 1);
+        let fault = apply_rank_restart(&plan, &mut m);
+        assert_eq!(m.epoch, 1);
+        assert!(m.is_alive(2));
+        assert_eq!(m.specs[2], spare);
+        assert!(m.spares.is_empty());
+        assert_eq!(m.replay_from, 6);
+        assert_eq!(m.faults, vec![fault]);
+
+        // Second death with no spares left degrades to a loud notification.
+        let plan2 = plan_rank_restart(
+            RestartPolicy::Spare,
+            0,
+            FaultKind::OpTimeout,
+            SimTime::from_nanos(50),
+            &m,
+            &replicas,
+        );
+        assert_eq!(plan2.fault().kind, FaultKind::SparesExhausted);
+        apply_rank_restart(&plan2, &mut m);
+        assert!(!m.is_alive(0));
+        assert_eq!(m.live_count(), 3);
+    }
+
+    #[test]
+    fn shrink_plan_marks_dead_and_bumps_epoch() {
+        let mut m = Membership::fresh(specs(3), Vec::new());
+        let plan = plan_rank_restart(
+            RestartPolicy::Shrink,
+            1,
+            FaultKind::OpTimeout,
+            SimTime::ZERO,
+            &m,
+            &ReplicaStore::default(),
+        );
+        apply_rank_restart(&plan, &mut m);
+        assert_eq!(m.epoch, 1);
+        assert!(!m.is_alive(1));
+        assert_eq!(m.dense_index(2), Some(1));
+    }
+}

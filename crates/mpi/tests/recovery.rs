@@ -1,0 +1,387 @@
+//! The fault-tolerant application tier end to end: typed faults instead
+//! of hangs, shrink and spare-node restarts, and replica-backed RMA.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ftgm_core::FtSystem;
+use ftgm_gm::WorldConfig;
+use ftgm_mpi::{
+    FaultKind, MpiHarness, Op, OpResult, RankProgram, RecoveryConfig, RestartPolicy,
+};
+use ftgm_net::NodeId;
+use ftgm_sim::SimDuration;
+
+/// A scripted program that records every result.
+struct Script {
+    ops: Vec<Op>,
+    at: usize,
+    results: Rc<RefCell<Vec<(u32, OpResult)>>>,
+}
+
+impl RankProgram for Script {
+    fn next_op(&mut self, rank: u32, _n: u32, last: Option<OpResult>) -> Option<Op> {
+        if let Some(r) = last {
+            self.results.borrow_mut().push((rank, r));
+        }
+        let op = self.ops.get(self.at).cloned();
+        self.at += 1;
+        op
+    }
+}
+
+#[test]
+fn recursive_doubling_matches_ring_allreduce() {
+    for n in [4usize, 6, 16] {
+        let results = Rc::new(RefCell::new(Vec::new()));
+        let mut h = MpiHarness::fat_tree(2, 4, 4, 1, 16 - n, WorldConfig::ftgm());
+        assert_eq!(h.nranks(), n as u32);
+        let r2 = Rc::clone(&results);
+        h.spawn_all(4096, move |rank| {
+            Box::new(Script {
+                ops: vec![
+                    Op::AllReduceSum { values: vec![rank as u64 + 1, 10 * (rank as u64 + 1)] },
+                    Op::AllReduceSumRd { values: vec![rank as u64 + 1, 10 * (rank as u64 + 1)] },
+                ],
+                at: 0,
+                results: Rc::clone(&r2),
+            })
+        });
+        h.world.run_for(SimDuration::from_ms(200));
+        assert!(h.all_done(), "n={n}: {:?}", h.state.borrow());
+        let expect: u64 = (1..=n as u64).sum();
+        let results = results.borrow();
+        assert_eq!(results.len(), 2 * n);
+        for (rank, r) in results.iter() {
+            let OpResult::AllReduceSum { values } = r else {
+                panic!("rank {rank}: unexpected {r:?}");
+            };
+            assert_eq!(values[..], [expect, 10 * expect], "rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn halo_exchange_delivers_neighbor_faces() {
+    // 4x4 torus of ranks; each sends its rank id stamped per direction.
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let mut h = MpiHarness::torus(4, 4, 1, 0, WorldConfig::ftgm());
+    assert_eq!(h.nranks(), 16);
+    let r2 = Rc::clone(&results);
+    h.spawn_all(4096, move |rank| {
+        let face = |d: u8| vec![rank as u8, d, 0xEE];
+        Box::new(Script {
+            ops: vec![Op::HaloExchange {
+                sends: [face(0), face(1), face(2), face(3)],
+            }],
+            at: 0,
+            results: Rc::clone(&r2),
+        })
+    });
+    h.world.run_for(SimDuration::from_ms(200));
+    assert!(h.all_done(), "{:?}", h.state.borrow());
+    let results = results.borrow();
+    assert_eq!(results.len(), 16);
+    // grid_dims(16) = (4, 4): up neighbor of rank r sends its "down" face.
+    for (rank, r) in results.iter() {
+        let OpResult::HaloDone { recv } = r else {
+            panic!("rank {rank}: unexpected {r:?}");
+        };
+        let (col, row) = (rank % 4, rank / 4);
+        let up = (col + (row + 3) % 4 * 4) as u8;
+        let down = (col + (row + 1) % 4 * 4) as u8;
+        let left = ((col + 3) % 4 + row * 4) as u8;
+        let right = ((col + 1) % 4 + row * 4) as u8;
+        // The face received from direction d was sent by that neighbor in
+        // the opposite direction (d ^ 1).
+        assert_eq!(recv[0][..2], [up, 1], "rank {rank} up");
+        assert_eq!(recv[1][..2], [down, 0], "rank {rank} down");
+        assert_eq!(recv[2][..2], [left, 3], "rank {rank} left");
+        assert_eq!(recv[3][..2], [right, 2], "rank {rank} right");
+    }
+}
+
+/// An iterative reducer that keeps going across faults: on a fault it
+/// simply re-issues its reduction (shrink re-plans over the survivors).
+struct Persistent {
+    iters: u32,
+    done_iters: u32,
+    results: Rc<RefCell<Vec<(u32, Vec<u64>)>>>,
+    faults: Rc<RefCell<Vec<(u32, FaultKind)>>>,
+}
+
+impl RankProgram for Persistent {
+    fn next_op(&mut self, rank: u32, _n: u32, last: Option<OpResult>) -> Option<Op> {
+        match last {
+            Some(OpResult::AllReduceSum { values }) => {
+                self.results.borrow_mut().push((rank, values));
+                self.done_iters += 1;
+            }
+            Some(OpResult::Fault(f)) => {
+                self.faults.borrow_mut().push((rank, f.kind));
+                // Shrink contract: survivors may be spread across two
+                // adjacent collectives when the epoch turns, so a fault
+                // is a phase boundary — restart the phase to re-align.
+                self.done_iters = 0;
+            }
+            Some(other) => panic!("rank {rank}: unexpected {other:?}"),
+            None => {}
+        }
+        (self.done_iters < self.iters).then(|| Op::AllReduceSum { values: vec![1] })
+    }
+}
+
+#[test]
+fn shrink_replans_collectives_over_survivors() {
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let faults = Rc::new(RefCell::new(Vec::new()));
+    let mut h = MpiHarness::star(8, WorldConfig::ftgm());
+    let ft = FtSystem::install(&mut h.world);
+    h.enable_recovery(RecoveryConfig::with_policy(RestartPolicy::Shrink));
+    let (r2, f2) = (Rc::clone(&results), Rc::clone(&faults));
+    h.spawn_all(4096, move |_rank| {
+        Box::new(Persistent {
+            iters: 40,
+            done_iters: 0,
+            results: Rc::clone(&r2),
+            faults: Rc::clone(&f2),
+        })
+    });
+    // Let a few iterations land, then kill rank 5's interface for good.
+    h.world.run_for(SimDuration::from_ms(2));
+    ft.escalate_isolated(&mut h.world, NodeId(5));
+    let done = h.run_until_done(SimDuration::from_secs(20));
+    assert!(done.is_some(), "survivors finish: {:?}", h.state.borrow());
+    assert_eq!(h.state.borrow().fatal_errors, 0);
+    // Early iterations reduced over 8 ranks, later ones over 7.
+    let results = results.borrow();
+    let mut sums: Vec<u64> = results.iter().map(|(_, v)| v[0]).collect();
+    sums.sort_unstable();
+    sums.dedup();
+    assert_eq!(sums, vec![7, 8], "reductions re-planned over survivors");
+    assert!(
+        !faults.borrow().is_empty(),
+        "survivors saw a typed fault, not a hang"
+    );
+}
+
+#[test]
+fn notify_policy_surfaces_fault_and_stops() {
+    // Under Notify the job is told and decides; our program stops at the
+    // first fault.
+    struct StopOnFault {
+        issued: u32,
+    }
+    impl RankProgram for StopOnFault {
+        fn next_op(&mut self, _rank: u32, _n: u32, last: Option<OpResult>) -> Option<Op> {
+            if matches!(last, Some(OpResult::Fault(_))) {
+                return None;
+            }
+            self.issued += 1;
+            (self.issued < 1000).then(|| Op::Barrier)
+        }
+    }
+    let mut h = MpiHarness::star(6, WorldConfig::ftgm());
+    let ft = FtSystem::install(&mut h.world);
+    h.enable_recovery(RecoveryConfig::with_policy(RestartPolicy::Notify));
+    h.spawn_all(4096, |_rank| Box::new(StopOnFault { issued: 0 }));
+    h.world.run_for(SimDuration::from_ms(2));
+    ft.escalate_isolated(&mut h.world, NodeId(2));
+    let done = h.run_until_done(SimDuration::from_secs(20));
+    assert!(done.is_some(), "{:?}", h.state.borrow());
+    assert!(h.state.borrow().faults_delivered >= 5, "{:?}", h.state.borrow());
+    assert_eq!(h.state.borrow().fatal_errors, 0);
+}
+
+/// Checkpointed iterative reducer for the spare-restart test: each
+/// iteration reduces, then checkpoints the iteration counter and the
+/// accumulated total.
+struct Ckpt {
+    iters: u32,
+    iter: u32,
+    total: u64,
+    phase: u8, // 0 = reduce next, 1 = checkpoint next
+    finals: Rc<RefCell<Vec<(u32, u64)>>>,
+}
+
+impl Ckpt {
+    fn encode(&self) -> Vec<u8> {
+        let mut s = self.iter.to_le_bytes().to_vec();
+        s.extend_from_slice(&self.total.to_le_bytes());
+        s
+    }
+}
+
+impl RankProgram for Ckpt {
+    fn next_op(&mut self, rank: u32, _n: u32, last: Option<OpResult>) -> Option<Op> {
+        match last {
+            Some(OpResult::AllReduceSum { values }) => {
+                self.total = self.total.wrapping_add(values[0]);
+                self.iter += 1;
+                self.phase = 1;
+            }
+            Some(OpResult::CheckpointDone { .. }) => self.phase = 0,
+            Some(OpResult::Fault(f)) => panic!("rank {rank}: unexpected fault {f:?}"),
+            _ => {}
+        }
+        if self.phase == 1 {
+            return Some(Op::Checkpoint { state: self.encode() });
+        }
+        if self.iter < self.iters {
+            return Some(Op::AllReduceSum { values: vec![u64::from(self.iter) + 1] });
+        }
+        self.finals.borrow_mut().push((rank, self.total));
+        None
+    }
+
+    fn on_restore(&mut self, state: &[u8]) {
+        if state.len() >= 12 {
+            self.iter = u32::from_le_bytes(state[..4].try_into().unwrap());
+            self.total = u64::from_le_bytes(state[4..12].try_into().unwrap());
+        }
+        // Re-issue the checkpoint we restored from: replay restarts at
+        // the checkpoint instance on every rank.
+        self.phase = 1;
+    }
+}
+
+fn run_spare_job(kill: Option<NodeId>) -> (Vec<(u32, u64)>, u64, u64) {
+    let finals = Rc::new(RefCell::new(Vec::new()));
+    // 16 hosts; 2 held out as spares -> 14 ranks.
+    let mut h = MpiHarness::fat_tree(2, 4, 4, 1, 2, WorldConfig::ftgm());
+    let ft = FtSystem::install(&mut h.world);
+    h.enable_recovery(RecoveryConfig::with_policy(RestartPolicy::Spare));
+    let f2 = Rc::clone(&finals);
+    h.spawn_all(4096, move |_rank| {
+        Box::new(Ckpt {
+            iters: 12,
+            iter: 0,
+            total: 0,
+            phase: 0,
+            finals: Rc::clone(&f2),
+        })
+    });
+    if let Some(node) = kill {
+        h.world.run_for(SimDuration::from_ms(3));
+        ft.escalate_isolated(&mut h.world, node);
+    }
+    let done = h.run_until_done(SimDuration::from_secs(30));
+    assert!(done.is_some(), "job finished: {:?}", h.state.borrow());
+    let state = h.state.borrow();
+    let mut out = finals.borrow().clone();
+    out.sort_unstable();
+    (out, state.respawns, state.fatal_errors)
+}
+
+#[test]
+fn spare_restart_resumes_from_checkpoint_with_identical_results() {
+    let (clean, respawns0, fatals0) = run_spare_job(None);
+    assert_eq!(respawns0, 0);
+    assert_eq!(fatals0, 0);
+    assert_eq!(clean.len(), 14);
+
+    let (faulted, respawns, fatals) = run_spare_job(Some(NodeId(6)));
+    assert_eq!(respawns, 1, "rank 6 respawned on a spare host");
+    assert_eq!(fatals, 0);
+    assert_eq!(
+        faulted, clean,
+        "every rank's total is byte-identical to the fault-free run"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// One-sided (RMA) operations.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rma_put_accumulate_get_flush_roundtrip() {
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let mut h = MpiHarness::star(4, WorldConfig::ftgm());
+    let r2 = Rc::clone(&results);
+    h.spawn_all(4096, move |rank| {
+        // Rank 1 owns window 7. Rank 0 puts bytes, ranks 2 and 3 each
+        // accumulate into slot 4; after a flush + barrier, rank 3 reads
+        // the whole window back.
+        let mut ops = vec![];
+        if rank == 1 {
+            ops.push(Op::WinCreate { win: 7 });
+        }
+        ops.push(Op::Barrier);
+        match rank {
+            0 => ops.push(Op::Put { owner: 1, win: 7, offset: 0, data: vec![0xA; 8] }),
+            2 | 3 => {
+                ops.push(Op::Accumulate { owner: 1, win: 7, offset: 32, values: vec![rank as u64] })
+            }
+            _ => {}
+        }
+        ops.push(Op::Flush);
+        ops.push(Op::Barrier);
+        if rank == 3 {
+            ops.push(Op::Get { owner: 1, win: 7, offset: 0, len: 40 });
+        }
+        Box::new(Script { ops, at: 0, results: Rc::clone(&r2) })
+    });
+    h.world.run_for(SimDuration::from_ms(100));
+    assert!(h.all_done(), "{:?}", h.state.borrow());
+    let results = results.borrow();
+    let got = results
+        .iter()
+        .find_map(|(rank, r)| match (rank, r) {
+            (3, OpResult::GetDone { data }) => Some(data.clone()),
+            _ => None,
+        })
+        .expect("rank 3 read the window");
+    assert_eq!(got[..8], [0xA; 8], "put landed");
+    assert_eq!(
+        u64::from_le_bytes(got[32..40].try_into().unwrap()),
+        2 + 3,
+        "both accumulates landed exactly once"
+    );
+}
+
+#[test]
+fn rma_get_survives_owner_death_via_replica() {
+    // Rank 1 owns the window; rank 2 (its replica holder: (1+1)%6) keeps
+    // the backing copy. After rank 1's interface dies mid-epoch, rank
+    // 0's Get is re-targeted to the replica without the program doing
+    // anything.
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let mut h = MpiHarness::star(6, WorldConfig::ftgm());
+    let ft = FtSystem::install(&mut h.world);
+    let mut cfg = RecoveryConfig::with_policy(RestartPolicy::Notify);
+    cfg.op_timeout = SimDuration::from_ms(400);
+    h.enable_recovery(cfg);
+    let r2 = Rc::clone(&results);
+    h.spawn_all(4096, move |rank| {
+        let mut ops = vec![];
+        if rank == 1 {
+            ops.push(Op::WinCreate { win: 3 });
+        }
+        ops.push(Op::Barrier);
+        if rank == 0 {
+            ops.push(Op::Put { owner: 1, win: 3, offset: 0, data: vec![0x5A; 16] });
+            ops.push(Op::Flush);
+        }
+        ops.push(Op::Barrier);
+        if rank == 0 {
+            // The owner dies between this barrier and the get; the
+            // replica on rank 2 answers.
+            ops.push(Op::Get { owner: 1, win: 3, offset: 0, len: 16 });
+        }
+        Box::new(Script { ops, at: 0, results: Rc::clone(&r2) })
+    });
+    h.world.run_for(SimDuration::from_ms(5));
+    ft.escalate_isolated(&mut h.world, NodeId(1));
+    let done = h.run_until_done(SimDuration::from_secs(20));
+    assert!(done.is_some(), "{:?}", h.state.borrow());
+    assert_eq!(h.state.borrow().fatal_errors, 0);
+    let results = results.borrow();
+    let got = results
+        .iter()
+        .find_map(|(rank, r)| match (rank, r) {
+            (0, OpResult::GetDone { data }) => Some(data.clone()),
+            _ => None,
+        })
+        .expect("rank 0's get completed");
+    assert_eq!(got, vec![0x5A; 16], "replica served the put data");
+}

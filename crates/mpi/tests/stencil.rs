@@ -130,9 +130,9 @@ impl RankProgram for Stencil {
 
 fn run_stencil(n: u32, hang: Option<(NodeId, u64)>) -> (bool, Vec<f64>, u64) {
     let config = WorldConfig::ftgm();
-    let mut h = MpiHarness::star(n, config);
+    let mut h = MpiHarness::star(n as usize, config);
     let ft = hang.map(|_| FtSystem::install(&mut h.world));
-    h.spawn_all(4096, |rank| Box::new(Stencil::new(rank, n)));
+    h.spawn_all(4096, move |rank| Box::new(Stencil::new(rank, n)));
     if let Some((node, at_us)) = hang {
         h.world.run_for(SimDuration::from_us(at_us));
         ft.as_ref().unwrap().inject_forced_hang(&mut h.world, node);

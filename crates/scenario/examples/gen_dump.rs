@@ -1,0 +1,37 @@
+//! Corpus-promotion helper: inspect the grammar generator's output.
+//!
+//! ```text
+//! cargo run -p ftgm-scenario --example gen_dump            # seed survey
+//! cargo run -p ftgm-scenario --example gen_dump -- 7 84    # full specs
+//! ```
+//!
+//! With no arguments, prints a one-line summary for seeds 0..240 —
+//! topology, flow/fault/trigger counts, coordinator, generated expect —
+//! to scan for promotion candidates. With seed arguments, prints the
+//! full canonical spec for each, ready to copy into `scenarios/*.ftsc`
+//! (see docs/SCENARIOS.md, "Promoting generator specs").
+
+use ftgm_scenario::{gen_spec, print};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() > 1 {
+        for a in &args[1..] {
+            let seed: u64 = a.parse().expect("seed");
+            println!("{}", print(&gen_spec(seed)));
+        }
+        return;
+    }
+    for seed in 0..240u64 {
+        let s = gen_spec(seed);
+        println!(
+            "{seed:3} {:?} flows={} faults={} triggers={} coord={} expect={:?}",
+            s.topology,
+            s.flows.len(),
+            s.faults.len(),
+            s.triggers.len(),
+            s.coordinator,
+            s.expect
+        );
+    }
+}

@@ -164,10 +164,12 @@ pub enum HistId {
     SendQueueDepth,
     /// Receive tokens in flight at each buffer provide.
     RecvQueueDepth,
+    /// MPI mailbox depth after each buffered envelope delivery.
+    MailboxDepth,
 }
 
 /// Number of [`HistId`] variants (sizes the histogram array).
-pub const HIST_COUNT: usize = 11;
+pub const HIST_COUNT: usize = 12;
 
 /// Bucket upper bounds for sim-duration histograms, in nanoseconds:
 /// 1 µs, 10 µs, 100 µs, 1 ms, 10 ms, 100 ms, 1 s (+overflow bucket).
@@ -198,6 +200,7 @@ impl HistId {
         HistId::RetryBackoff,
         HistId::SendQueueDepth,
         HistId::RecvQueueDepth,
+        HistId::MailboxDepth,
     ];
 
     /// Dense index into the histogram array.
@@ -214,6 +217,7 @@ impl HistId {
             HistId::RetryBackoff => 8,
             HistId::SendQueueDepth => 9,
             HistId::RecvQueueDepth => 10,
+            HistId::MailboxDepth => 11,
         }
     }
 
@@ -231,6 +235,7 @@ impl HistId {
             HistId::RetryBackoff => "retry_backoff_ns",
             HistId::SendQueueDepth => "send_queue_depth",
             HistId::RecvQueueDepth => "recv_queue_depth",
+            HistId::MailboxDepth => "mailbox_depth",
         }
     }
 
@@ -249,7 +254,9 @@ impl HistId {
     /// This histogram's bucket upper bounds (the last bucket is +inf).
     pub fn bounds(self) -> &'static [u64; 7] {
         match self {
-            HistId::SendQueueDepth | HistId::RecvQueueDepth => &DEPTH_BOUNDS,
+            HistId::SendQueueDepth | HistId::RecvQueueDepth | HistId::MailboxDepth => {
+                &DEPTH_BOUNDS
+            }
             _ => &DURATION_BOUNDS,
         }
     }
@@ -395,6 +402,9 @@ impl Metrics {
             }
             TraceKind::RecvProvided { depth, .. } => {
                 self.observe_hist(HistId::RecvQueueDepth, u64::from(depth));
+            }
+            TraceKind::MailboxQueued { depth, .. } => {
+                self.observe_hist(HistId::MailboxDepth, u64::from(depth));
             }
             TraceKind::Resent { chunks, .. } => {
                 self.resent_chunks = self.resent_chunks.saturating_add(chunks);

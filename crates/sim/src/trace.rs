@@ -537,10 +537,22 @@ pub enum TraceKind {
         /// Per-destination sequence streams restored.
         streams_restored: u32,
     },
+
+    // --- middleware (MPI tier) ------------------------------------------
+    /// The MPI middleware buffered an unmatched envelope in a rank's
+    /// mailbox; `depth` is the buffered count after the store.
+    MailboxQueued {
+        /// The rank's host interface.
+        node: u16,
+        /// The rank's GM port.
+        port: u8,
+        /// Mailbox depth after the delivery.
+        depth: u32,
+    },
 }
 
 /// Number of [`TraceKind`] variants (sizes the metrics counter array).
-pub const KIND_COUNT: usize = 45;
+pub const KIND_COUNT: usize = 46;
 
 /// Stable kind names, indexed by [`TraceKind::kind_index`].
 pub const KIND_NAMES: [&str; KIND_COUNT] = [
@@ -589,6 +601,7 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "PeerStallDetected",
     "ZoneRerouteTriggered",
     "PeerIsolated",
+    "MailboxQueued",
 ];
 
 impl TraceKind {
@@ -640,6 +653,7 @@ impl TraceKind {
             TraceKind::PeerStallDetected { .. } => 42,
             TraceKind::ZoneRerouteTriggered { .. } => 43,
             TraceKind::PeerIsolated { .. } => 44,
+            TraceKind::MailboxQueued { .. } => 45,
         }
     }
 
@@ -649,10 +663,11 @@ impl TraceKind {
     }
 
     /// Short category tag (`"wdog"`, `"ftd"`, `"fault"`, `"recov"`,
-    /// `"gm"`, `"dma"`, `"mcp"`, `"net"`, `"coord"`), mirroring the
-    /// render column.
+    /// `"gm"`, `"dma"`, `"mcp"`, `"net"`, `"coord"`, `"mpi"`), mirroring
+    /// the render column.
     pub fn category(&self) -> &'static str {
         match self {
+            TraceKind::MailboxQueued { .. } => "mpi",
             TraceKind::SendPosted { .. }
             | TraceKind::SendCompleted { .. }
             | TraceKind::SendFailed { .. }
@@ -719,7 +734,8 @@ impl TraceKind {
             | TraceKind::FtdSleeping { node }
             | TraceKind::GmUnknownEntered { node, .. }
             | TraceKind::StaleHandlerSuperseded { node, .. }
-            | TraceKind::PortReopened { node, .. } => Some(node),
+            | TraceKind::PortReopened { node, .. }
+            | TraceKind::MailboxQueued { node, .. } => Some(node),
             TraceKind::FabricDrop { node, .. } => Some(node),
             TraceKind::PeerStallDetected { observer, .. }
             | TraceKind::ZoneRerouteTriggered { observer, .. }
@@ -750,6 +766,7 @@ impl TraceKind {
                 | TraceKind::Resent { .. }
                 | TraceKind::WatchdogRearmed { .. }
                 | TraceKind::FabricDrop { .. }
+                | TraceKind::MailboxQueued { .. }
         )
     }
 
@@ -881,6 +898,9 @@ impl TraceKind {
             TraceKind::PeerIsolated { observer, peer } => {
                 format!("node{observer}: peer node{peer} unreachable after reroute — escalating dead")
             }
+            TraceKind::MailboxQueued { node, port, depth } => {
+                format!("node{node}.{port}: mpi mailbox buffered an envelope (depth {depth})")
+            }
         }
     }
 
@@ -991,6 +1011,9 @@ impl TraceKind {
             }
             TraceKind::ZoneRerouteTriggered { observer, trigger } => {
                 let _ = write!(w, ",\"observer\":{observer},\"trigger\":\"{}\"", trigger.name());
+            }
+            TraceKind::MailboxQueued { node, port, depth } => {
+                let _ = write!(w, ",\"node\":{node},\"port\":{port},\"depth\":{depth}");
             }
         }
     }

@@ -68,7 +68,7 @@ impl RankProgram for PiRank {
 }
 
 fn main() {
-    let mut h = MpiHarness::star(RANKS, WorldConfig::ftgm());
+    let mut h = MpiHarness::star(RANKS as usize, WorldConfig::ftgm());
     let ft = FtSystem::install(&mut h.world);
     h.spawn_all(4096, |rank| {
         Box::new(PiRank {

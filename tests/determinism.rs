@@ -7,6 +7,10 @@
 //! Release-gated (like `chaos_smoke`): the standard scenario set simulates
 //! tens of seconds of fabric time per scenario.
 
+use ftgm_bench::mpi::{
+    check as mpi_check, mpi_cells, run_cells as run_mpi_cells, run_mpi_cell,
+    summary_json as mpi_summary_json,
+};
 use ftgm_bench::scale::{
     run_sched_cell, run_world_cell, scale_spec, sched_cells, summary_json, world_cells,
 };
@@ -18,6 +22,10 @@ use ftgm_workload::{demo_suite, reports_to_json, run_suite_parallel};
 /// string literals, no `.`, `e`, or `E` may remain — floats (and their
 /// platform-dependent formatting) are banned from committed JSON.
 fn assert_integer_only_json(name: &str, json: &str) {
+    // JSON booleans are determinism-safe; only float literals (and their
+    // platform-dependent formatting) are banned. Normalize them away so
+    // the bare `e` in `true`/`false` doesn't trip the scan.
+    let json = json.replace("true", "1").replace("false", "0");
     let mut in_string = false;
     let mut escaped = false;
     for c in json.chars() {
@@ -119,6 +127,41 @@ fn bench_chaos_json_matches_golden_schema() {
     );
 }
 
+/// Golden schema for `BENCH_mpi.json` (written by the `mpi` bin): the
+/// MPI-tier sweep — collectives and one-sided ops at 256–1024 ranks
+/// with mid-operation NIC failures — all required keys present,
+/// integers only, and no committed violations.
+#[test]
+fn bench_mpi_json_matches_golden_schema() {
+    let json = read_artifact("BENCH_mpi.json");
+    assert_integer_only_json("BENCH_mpi.json", &json);
+    assert_has_keys(
+        "BENCH_mpi.json",
+        &json,
+        &[
+            "schema", "seed", "violations", "cells", "label", "pattern", "ranks", "fault",
+            "iters", "completed", "finishers", "checksum", "faults_delivered",
+            "gm_send_errors", "fatal_errors", "respawns", "replayed_instances",
+            "checkpoints_stored", "recoveries", "completion_ns", "blackout_ns",
+        ],
+    );
+    assert!(json.contains("\"schema\": \"ftgm-mpi-v1\""));
+    assert!(
+        json.contains("\"violations\": 0"),
+        "a BENCH_mpi.json with oracle violations must never be committed"
+    );
+    // The ISSUE matrix must be present in full: {ar-rd, bcast, halo} ×
+    // {256, 1024} × {none, hang, spare}.
+    for pattern in ["ar-rd", "bcast", "halo"] {
+        for ranks in [256, 1024] {
+            for fault in ["none", "hang", "spare"] {
+                let label = format!("\"label\": \"{pattern}-{ranks}-{fault}\"");
+                assert!(json.contains(&label), "BENCH_mpi.json missing cell {label}");
+            }
+        }
+    }
+}
+
 /// Golden schema for `BENCH_slo.json` (written by the `slo` bin).
 #[test]
 fn bench_slo_json_matches_golden_schema() {
@@ -173,6 +216,47 @@ fn scale_deterministic_summary_is_byte_identical_across_runs() {
     assert!(
         committed.contains(&needle),
         "committed BENCH_scale.json is stale: expected {needle}; re-run the scale bin"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: fault cells simulate seconds of job time (ci.sh runs this with --release)"
+)]
+fn mpi_summaries_are_byte_identical_across_thread_counts_and_runs() {
+    // The smoke sweep (collectives + RMA with hang, spare, and replica
+    // injections) must render byte-identically whether the cells fan out
+    // over one worker thread or three, and across repeated runs.
+    let cells = mpi_cells(true);
+    let single = run_mpi_cells(&cells, 2003, 1);
+    let multi = run_mpi_cells(&cells, 2003, 3);
+    let render = |results: &[_]| {
+        let violations = mpi_check(results);
+        assert!(violations.is_empty(), "smoke sweep violated oracles: {violations:?}");
+        mpi_summary_json(2003, results, 0, false)
+    };
+    let a = render(&single);
+    let b = render(&multi);
+    assert_eq!(a, b, "worker thread count leaked into the MPI summary");
+    assert_eq!(a, render(&run_mpi_cells(&cells, 2003, 1)), "MPI replay diverged");
+    assert_integer_only_json("mpi summary", &a);
+    assert!(!a.contains("wall_ns"), "measured field in deterministic JSON");
+
+    // The committed artifact's deterministic core must match this very
+    // build: the fault-free 256-rank allreduce checksum cannot drift
+    // silently — regenerate BENCH_mpi.json when the MPI tier changes.
+    let committed = read_artifact("BENCH_mpi.json");
+    let twin = mpi_cells(false)
+        .into_iter()
+        .find(|c| c.label == "ar-rd-256-none")
+        .expect("full sweep defines ar-rd-256-none");
+    let r = run_mpi_cell(&twin, 2003, ftgm_sim::SimDuration::ZERO);
+    assert!(r.completed, "ar-rd-256-none must complete");
+    let needle = format!("\"checksum\": \"{:016x}\"", r.checksum);
+    assert!(
+        committed.contains(&needle),
+        "committed BENCH_mpi.json is stale: expected {needle}; re-run the mpi bin"
     );
 }
 

@@ -784,3 +784,88 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Ring and recursive-doubling all-reduce are the same reduction:
+    /// for any communicator size and contribution pattern, both
+    /// algorithms deliver the element-wise wrapping sum — identical on
+    /// every rank, and identical to each other. (The MPI tier leans on
+    /// this: the bench sweep cross-checks the two algorithms' checksums,
+    /// and a spare restart replays whichever one the program used.)
+    #[test]
+    fn ring_and_rd_allreduce_agree(
+        n in 1u32..28,
+        lanes in 1usize..5,
+        salt in any::<u64>(),
+    ) {
+        use ftgm_mpi::{MpiHarness, Op, OpResult, RankProgram};
+
+        type Outs = Rc<RefCell<Vec<(u32, Vec<u64>)>>>;
+        struct OneShot {
+            rd: bool,
+            lanes: usize,
+            salt: u64,
+            outs: Outs,
+        }
+        impl RankProgram for OneShot {
+            fn next_op(&mut self, rank: u32, _n: u32, last: Option<OpResult>) -> Option<Op> {
+                match last {
+                    None => {
+                        let values: Vec<u64> = (0..self.lanes as u64)
+                            .map(|l| {
+                                self.salt
+                                    .wrapping_mul(u64::from(rank) + 1)
+                                    .wrapping_add(l.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                            })
+                            .collect();
+                        Some(if self.rd {
+                            Op::AllReduceSumRd { values }
+                        } else {
+                            Op::AllReduceSum { values }
+                        })
+                    }
+                    Some(OpResult::AllReduceSum { values }) => {
+                        self.outs.borrow_mut().push((rank, values));
+                        None
+                    }
+                    _ => None,
+                }
+            }
+        }
+
+        let run = |rd: bool| -> Vec<(u32, Vec<u64>)> {
+            let outs: Outs = Rc::new(RefCell::new(Vec::new()));
+            let mut h = MpiHarness::star(n as usize, WorldConfig::ftgm());
+            let o2 = Rc::clone(&outs);
+            h.spawn_all(4096, move |_| {
+                Box::new(OneShot { rd, lanes, salt, outs: Rc::clone(&o2) })
+            });
+            let done = h.run_until_done(SimDuration::from_secs(30));
+            assert!(done.is_some(), "allreduce (rd={rd}, n={n}) never completed");
+            let mut got = outs.borrow().clone();
+            got.sort_unstable();
+            got
+        };
+
+        let expected: Vec<u64> = (0..lanes as u64)
+            .map(|l| {
+                (0..n).fold(0u64, |acc, rank| {
+                    acc.wrapping_add(
+                        salt.wrapping_mul(u64::from(rank) + 1)
+                            .wrapping_add(l.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    )
+                })
+            })
+            .collect();
+
+        let ring = run(false);
+        let rd = run(true);
+        prop_assert_eq!(ring.len() as u32, n, "every rank reports");
+        prop_assert_eq!(&ring, &rd, "ring and recursive doubling diverged");
+        for (rank, values) in &ring {
+            prop_assert_eq!(values, &expected, "rank {} sum wrong", rank);
+        }
+    }
+}
