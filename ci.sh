@@ -36,11 +36,13 @@ step build 900 cargo build --release
 step test-debug 1800 cargo test -q
 # Chaos smoke + determinism regression: the deterministic multi-fault
 # scenario set, the byte-identical-exports checks across thread counts,
-# and the 256-node scale-cell determinism check. All run in release (the
-# scenarios simulate seconds of cluster time; debug builds are gated off
-# with #[ignore] to keep the tier under budget).
+# the 256-node scale-cell determinism check, and the cross-backend
+# interpreter equivalence suite (whose chaos-campaign lock-step is
+# release-gated). All run in release (the scenarios simulate seconds of
+# cluster time; debug builds are gated off with #[ignore] to keep the
+# tier under budget).
 step chaos-determinism 900 cargo test --release -q -p ftgm-core \
-    --test chaos_smoke --test determinism
+    --test chaos_smoke --test determinism --test cpu_equivalence
 mkdir -p results
 step lint 120 cargo run -q -p ftgm-lint -- --deny-new --quiet \
     --report results/lint_report.json
@@ -60,6 +62,21 @@ step chaos-bench 900 cargo run --release -q -p ftgm-bench --bin chaosx
 # BENCH_scale.json is run manually: cargo run --release -p ftgm-bench
 # --bin scale.
 step scale-smoke 600 cargo run --release -q -p ftgm-bench --bin scale -- --smoke
+# Microbench smoke: the decoded-vs-reference send_chunk pair, the
+# batched calendar drain vs its single-pop twin, and the fabric walk.
+# The shim's timings are machine noise and not asserted; the grep below
+# gates on every bench line being *present*, so a bench that stops
+# compiling, panics, or gets dropped from the group fails the tier.
+step micro-bench 600 sh -c \
+    'cargo bench -q -p ftgm-bench --bench micro_benches > results/micro_bench.txt 2>&1'
+for key in 'interp/send_chunk_decoded' 'interp/send_chunk_reference' \
+    'sched/drain_batched' 'sched/drain_single_pop' \
+    'net/fabric_walk_fat_tree64'; do
+    grep -q "bench $key" results/micro_bench.txt || {
+        echo "results/micro_bench.txt: missing bench line $key" >&2
+        exit 1
+    }
+done
 # Scenario-DSL corpus replay: every scenarios/*.ftsc file parses,
 # compiles, runs, matches its `expect` verdict, violates no oracle, and
 # produces JSON byte-identical to scenarios/golden/<name>.json. After an
@@ -90,6 +107,8 @@ done
 for key in '"schema": "ftgm-scale-v1"' '"sched_cells"' '"world_cells"' \
     '"cal_checksum"' '"heap_checksum"' '"checksums_match"' \
     '"speedup_permille"' '"recovery_blackout_ns"' '"events_delivered"' \
+    '"interp_cells"' '"dec_checksum"' '"ref_checksum"' \
+    '"label": "interp_alu_deep"' '"label": "interp_send_deep"' \
     '"violations": 0'; do
     grep -q "$key" BENCH_scale.json || {
         echo "BENCH_scale.json: missing required key $key" >&2

@@ -25,5 +25,6 @@ pub mod world;
 
 pub use backup::{PortBackup, RecvTokenCopy, SendTokenCopy};
 pub use world::{
-    App, AppId, Ctx, GmEvent, HostApiCosts, Hooks, NodeSim, World, WorldConfig, WorldStats,
+    App, AppId, Ctx, DrainMode, GmEvent, HostApiCosts, Hooks, NodeSim, World, WorldConfig,
+    WorldStats,
 };

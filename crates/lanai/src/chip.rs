@@ -35,6 +35,7 @@ use std::fmt;
 use ftgm_sim::SimTime;
 
 use crate::cpu::{Cpu, CsrBus};
+use crate::decode::{CpuBackend, DecodeCache};
 use crate::sram::Sram;
 use crate::timers::{IntervalTimer, TimerId};
 
@@ -166,6 +167,9 @@ pub struct LanaiChip {
     pub sram: Sram,
     /// The RISC core's register file.
     pub cpu: Cpu,
+    /// Which interpreter [`LanaiChip::run_routine`] dispatches to.
+    pub backend: CpuBackend,
+    decode_cache: DecodeCache,
     timers: [IntervalTimer; 3],
     isr: u32,
     imr: u32,
@@ -195,6 +199,8 @@ impl LanaiChip {
         LanaiChip {
             sram: Sram::new(sram_len),
             cpu: Cpu::new(),
+            backend: CpuBackend::default(),
+            decode_cache: DecodeCache::new(),
             timers: [IntervalTimer::new(); 3],
             isr: 0,
             imr: 0,
@@ -256,12 +262,20 @@ impl LanaiChip {
         use crate::cpu::RunOutcome;
         self.csr_now = now;
         // Split borrows: the CPU mutates SRAM while CSR accesses mutate the
-        // chip's latches, so temporarily move both out of `self`. CSR
-        // handlers that need memory (checksum, TX gather) receive the SRAM
-        // by reference through the `CsrBus` trait.
+        // chip's latches, so temporarily move both out of `self` (the
+        // decode cache rides along the same way). CSR handlers that need
+        // memory (checksum, TX gather) receive the SRAM by reference
+        // through the `CsrBus` trait.
         let mut cpu = self.cpu.clone();
         let mut sram = std::mem::replace(&mut self.sram, Sram::new(0));
-        let outcome = cpu.run(&mut sram, self, entry, max_steps);
+        let mut cache = std::mem::take(&mut self.decode_cache);
+        let outcome = match self.backend {
+            CpuBackend::Reference => cpu.run(&mut sram, self, entry, max_steps),
+            CpuBackend::Decoded => {
+                crate::decode::run_decoded(&mut cpu, &mut sram, self, entry, max_steps, &mut cache)
+            }
+        };
+        self.decode_cache = cache;
         self.sram = sram;
         self.cpu = cpu;
         match outcome {
@@ -459,14 +473,21 @@ impl LanaiChip {
     }
 }
 
+/// Maps an `IT_COUNT` CSR id to its timer, if `id` addresses one.
+fn it_timer(id: u32) -> Option<TimerId> {
+    TimerId::ALL
+        .into_iter()
+        .find(|t| csr::IT_COUNT[t.index()] == id)
+}
+
 impl CsrBus for LanaiChip {
     fn csr_read(&mut self, _sram: &Sram, id: u32) -> u32 {
+        if let Some(t) = it_timer(id) {
+            return self.timer_count(t, self.csr_now);
+        }
         match id {
             csr::ISR => self.isr,
             csr::IMR => self.imr,
-            _ if id == csr::IT_COUNT[0] => self.timer_count(TimerId::It0, self.csr_now),
-            _ if id == csr::IT_COUNT[1] => self.timer_count(TimerId::It1, self.csr_now),
-            _ if id == csr::IT_COUNT[2] => self.timer_count(TimerId::It2, self.csr_now),
             csr::TX_HDR_ADDR => self.tx_hdr_addr,
             csr::TX_HDR_LEN => self.tx_hdr_len,
             csr::TX_PAY_ADDR => self.tx_pay_addr,
@@ -481,18 +502,13 @@ impl CsrBus for LanaiChip {
     }
 
     fn csr_write(&mut self, sram: &Sram, id: u32, value: u32) {
+        if let Some(t) = it_timer(id) {
+            self.arm_timer(t, self.csr_now, value);
+            return;
+        }
         match id {
             csr::ISR => self.clear_isr(value),
             csr::IMR => self.set_imr(value),
-            _ if id == csr::IT_COUNT[0] => {
-                self.timers[0].arm_ticks(self.csr_now, value);
-            }
-            _ if id == csr::IT_COUNT[1] => {
-                self.timers[1].arm_ticks(self.csr_now, value);
-            }
-            _ if id == csr::IT_COUNT[2] => {
-                self.timers[2].arm_ticks(self.csr_now, value);
-            }
             csr::TX_HDR_ADDR => self.tx_hdr_addr = value,
             csr::TX_HDR_LEN => self.tx_hdr_len = value,
             csr::TX_PAY_ADDR => self.tx_pay_addr = value,

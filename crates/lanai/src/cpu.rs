@@ -139,6 +139,14 @@ impl Cpu {
         }
     }
 
+    /// The raw register file, for the decoded backend's hot loop (which
+    /// passes it to its op handlers directly so the array pointer can
+    /// stay register-resident).
+    #[inline(always)]
+    pub(crate) fn regs_raw_mut(&mut self) -> &mut [u32; 16] {
+        &mut self.regs
+    }
+
     /// Runs from `entry` until return, trap, or `max_steps` instructions.
     ///
     /// The register file persists across calls so the invoker can pass
@@ -334,7 +342,7 @@ impl Cpu {
     }
 }
 
-fn mem<T>(r: crate::sram::MemResult<T>) -> Result<T, TrapKind> {
+pub(crate) fn mem<T>(r: crate::sram::MemResult<T>) -> Result<T, TrapKind> {
     r.map_err(|f| TrapKind::MemFault {
         addr: f.addr,
         misaligned: f.misaligned,

@@ -118,19 +118,43 @@ proptest! {
     /// Store-then-load round-trips through SRAM for every width.
     #[test]
     fn memory_roundtrip_widths(v in 0u32..(1 << 27), base in 0u32..64) {
-        let base = 0x100 + base * 4;
-        let text = format!(
-            "li r1, {base}\nli r2, {v}\nsw r2, 0(r1)\nlw r3, 0(r1)\nlh r4, 0(r1)\nlb r5, 0(r1)\njr r15\n"
-        );
-        let image = assemble(&text).expect("assembles");
-        let mut sram = Sram::new(4096);
-        sram.write_bytes(0, &image.bytes);
-        let mut cpu = Cpu::new();
-        cpu.set_reg(Reg::LINK, RETURN_ADDR);
-        let out = cpu.run(&mut sram, &mut NullBus, 0, 200);
-        prop_assert!(out.is_completed());
-        prop_assert_eq!(cpu.reg(Reg::new(3)), v);
-        prop_assert_eq!(cpu.reg(Reg::new(4)), v & 0xFFFF);
-        prop_assert_eq!(cpu.reg(Reg::new(5)), v & 0xFF);
+        assert_memory_roundtrip(v, base);
     }
+}
+
+fn assert_memory_roundtrip(v: u32, base: u32) {
+    let base = 0x100 + base * 4;
+    let text = format!(
+        "li r1, {base}\nli r2, {v}\nsw r2, 0(r1)\nlw r3, 0(r1)\nlh r4, 0(r1)\nlb r5, 0(r1)\njr r15\n"
+    );
+    let image = assemble(&text).expect("assembles");
+    let mut sram = Sram::new(4096);
+    sram.write_bytes(0, &image.bytes);
+    let mut cpu = Cpu::new();
+    cpu.set_reg(Reg::LINK, RETURN_ADDR);
+    let out = cpu.run(&mut sram, &mut NullBus, 0, 200);
+    assert!(out.is_completed());
+    assert_eq!(cpu.reg(Reg::new(3)), v);
+    assert_eq!(cpu.reg(Reg::new(4)), v & 0xFFFF);
+    assert_eq!(cpu.reg(Reg::new(5)), v & 0xFF);
+}
+
+/// Promoted from `machine_properties.proptest-regressions` (case
+/// `bf9834b9…`, shrinks to `v = 134217728, base = 0`): a constant of
+/// exactly 2^27 once slipped into the roundtrip strategy and tripped the
+/// assembler's `li` range assertion. The largest expressible constant is
+/// pinned here as a named test so the boundary runs on every
+/// `cargo test`, not only when the regression file is honored.
+#[test]
+fn li_roundtrip_boundary_regression_bf9834b9() {
+    assert_memory_roundtrip((1 << 27) - 1, 0);
+}
+
+/// The other half of the regression: the out-of-range value itself must
+/// keep failing loudly at assembly time (a silent truncation would ship
+/// wrong constants into firmware images).
+#[test]
+#[should_panic(expected = "exceeds 27 bits")]
+fn li_rejects_2_pow_27_regression_bf9834b9() {
+    let _ = assemble("li r1, 134217728\njr r15\n");
 }

@@ -5,6 +5,7 @@
 //! utilization" row; the watchdog-related intervals reproduce §4.2 (the
 //! `L_timer()` period whose maximum observed gap is ~800 µs).
 
+use ftgm_lanai::CpuBackend;
 use ftgm_sim::SimDuration;
 
 /// Which protocol the MCP speaks.
@@ -85,6 +86,10 @@ pub struct McpParams {
     pub retry_limit: u32,
     /// Instruction budget per firmware routine invocation.
     pub firmware_budget: u64,
+    /// Which LN32 interpreter executes firmware routines. Both backends
+    /// are bit-exact by contract (`tests/cpu_equivalence.rs`); `Decoded`
+    /// is the default, `Reference` is for differential harnesses.
+    pub cpu_backend: CpuBackend,
 }
 
 impl McpParams {
@@ -111,6 +116,7 @@ impl McpParams {
             rto: SimDuration::from_ms(30),
             retry_limit: 200,
             firmware_budget: 20_000,
+            cpu_backend: CpuBackend::default(),
         }
     }
 

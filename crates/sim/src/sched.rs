@@ -276,6 +276,62 @@ impl<E> Scheduler<E> {
         Some((e.at, e.event))
     }
 
+    /// Drains the entire run of events sharing the earliest timestamp
+    /// into `out` (cleared first), advancing the clock once. Returns the
+    /// number of events drained; 0 means the queue is exhausted.
+    ///
+    /// Equal-timestamp events hash to the same bucket and sit contiguous
+    /// at its back in FIFO order, so the run comes out in exactly the
+    /// order repeated [`Scheduler::pop`] calls would deliver it — one
+    /// bucket locate and one resize check amortized over the whole run
+    /// instead of per event. Events scheduled *during* the run's
+    /// execution carry higher sequence numbers, so handling the drained
+    /// prefix before re-polling preserves replay order.
+    pub fn pop_run(&mut self, out: &mut Vec<(SimTime, E)>) -> usize {
+        out.clear();
+        let Some(idx) = self.locate_min() else {
+            return 0;
+        };
+        let Some(first) = self.buckets[idx].pop() else {
+            return 0;
+        };
+        let t = first.at;
+        debug_assert!(t >= self.now);
+        self.retire(first.slot);
+        self.now = t;
+        self.popped += 1;
+        out.push((t, first.event));
+        loop {
+            self.clean_back(idx);
+            match self.buckets[idx].last() {
+                Some(e) if e.at == t => {}
+                _ => break,
+            }
+            let Some(e) = self.buckets[idx].pop() else {
+                break;
+            };
+            self.retire(e.slot);
+            self.popped += 1;
+            out.push((t, e.event));
+        }
+        let nbuckets = self.buckets.len();
+        if (self.live < nbuckets / 4 && nbuckets > MIN_BUCKETS)
+            || self.dead > 2 * self.live + 64
+        {
+            self.resize();
+        }
+        out.len()
+    }
+
+    /// Retires a fired entry's slot: bumps the generation so a stale
+    /// cancel of its id reports false, then recycles it.
+    fn retire(&mut self, slot: u32) {
+        let gen = &mut self.slot_gens[slot as usize];
+        *gen = gen.wrapping_add(1);
+        self.free_slots.push(slot);
+        self.live -= 1;
+    }
+
     /// Timestamp of the next live event without popping it.
     ///
     /// Takes `&mut self` because locating the minimum sweeps cancelled
@@ -480,6 +536,28 @@ impl<E> HeapScheduler<E> {
         None
     }
 
+    /// Drains the entire run of events sharing the earliest timestamp
+    /// into `out` (cleared first), advancing the clock once. Returns the
+    /// number of events drained; 0 means the queue is exhausted.
+    ///
+    /// Behaviorally identical to the calendar's [`Scheduler::pop_run`]:
+    /// the heap orders ties by sequence number, so the run comes out in
+    /// the same FIFO order repeated `pop` calls would deliver it.
+    pub fn pop_run(&mut self, out: &mut Vec<(SimTime, E)>) -> usize {
+        out.clear();
+        let Some((t, first)) = self.pop() else {
+            return 0;
+        };
+        out.push((t, first));
+        while self.peek_time() == Some(t) {
+            let Some((at, e)) = self.pop() else {
+                break;
+            };
+            out.push((at, e));
+        }
+        out.len()
+    }
+
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
@@ -616,6 +694,76 @@ mod tests {
                     s.pop();
                     assert!(s.is_empty());
                     assert_eq!(s.events_delivered(), 1);
+                }
+
+                #[test]
+                fn pop_run_drains_exactly_the_tie_run_in_fifo_order() {
+                    let mut s: $sched<u32> = $sched::new();
+                    for i in 0..5 {
+                        s.schedule_at(SimTime::from_nanos(10), i);
+                    }
+                    s.schedule_at(SimTime::from_nanos(11), 99);
+                    let mut out = Vec::new();
+                    assert_eq!(s.pop_run(&mut out), 5);
+                    for (k, &(at, e)) in out.iter().enumerate() {
+                        assert_eq!(at, SimTime::from_nanos(10));
+                        assert_eq!(e, k as u32);
+                    }
+                    assert_eq!(s.now(), SimTime::from_nanos(10));
+                    // The later timestamp is untouched by the first run.
+                    assert_eq!(s.pop_run(&mut out), 1);
+                    assert_eq!(out, vec![(SimTime::from_nanos(11), 99)]);
+                    assert_eq!(s.now(), SimTime::from_nanos(11));
+                    // Exhausted: returns 0 and leaves out empty.
+                    assert_eq!(s.pop_run(&mut out), 0);
+                    assert!(out.is_empty());
+                    assert_eq!(s.events_delivered(), 6);
+                }
+
+                #[test]
+                fn pop_run_skips_cancelled_entries_inside_the_run() {
+                    let mut s: $sched<u32> = $sched::new();
+                    let _a = s.schedule_at(SimTime::from_nanos(10), 0);
+                    let b = s.schedule_at(SimTime::from_nanos(10), 1);
+                    let _c = s.schedule_at(SimTime::from_nanos(10), 2);
+                    s.cancel(b);
+                    let mut out = Vec::new();
+                    assert_eq!(s.pop_run(&mut out), 2);
+                    let got: Vec<u32> = out.iter().map(|&(_, e)| e).collect();
+                    assert_eq!(got, vec![0, 2]);
+                    assert_eq!(s.events_delivered(), 2);
+                }
+
+                #[test]
+                fn pop_run_matches_sequential_pops() {
+                    // Same mixed workload through both drain styles must
+                    // yield the identical (time, payload) stream.
+                    let build = || {
+                        let mut s: $sched<u32> = $sched::new();
+                        let mut cancels = Vec::new();
+                        for i in 0..200u32 {
+                            let at = SimTime::from_nanos(u64::from(i * 13 % 29));
+                            let id = s.schedule_at(at, i);
+                            if i % 7 == 0 {
+                                cancels.push(id);
+                            }
+                        }
+                        for id in cancels {
+                            s.cancel(id);
+                        }
+                        s
+                    };
+                    let mut a = build();
+                    let singles: Vec<_> =
+                        std::iter::from_fn(|| a.pop()).collect();
+                    let mut b = build();
+                    let mut runs = Vec::new();
+                    let mut out = Vec::new();
+                    while b.pop_run(&mut out) > 0 {
+                        runs.extend(out.drain(..));
+                    }
+                    assert_eq!(singles, runs);
+                    assert_eq!(a.events_delivered(), b.events_delivered());
                 }
             }
         };

@@ -1,0 +1,393 @@
+//! Differential tests: the decoded-op LN32 interpreter against the
+//! verbatim reference interpreter ([`Cpu::run`]).
+//!
+//! The decoded backend (predecoded pages, run-length bursts, fused ALU
+//! pairs) is the production path; the reference interpreter is kept
+//! word-for-word as an oracle. The two must be observationally
+//! identical — same registers, same SRAM image, same cycle charges,
+//! same chip effects (frames, DMAs, interrupts), same trap/hang
+//! behaviour — for *any* code, including the corrupted images the fault
+//! campaign produces. The tests here lock-step the backends over random
+//! instruction soup, over every `send_chunk` path (send, resend, inline
+//! vs gather, error exits), and over bit flips injected into code pages
+//! whose decode cache is already warm — the exact situation the
+//! store/flip invalidation contract exists for.
+//!
+//! Mirrors `sched_equivalence.rs`, which does the same for the calendar
+//! scheduler against its binary-heap oracle.
+
+use ftgm_lanai::chip::{ChipEffect, HangCause, LanaiChip};
+use ftgm_lanai::cpu::{RunOutcome, RETURN_ADDR};
+use ftgm_lanai::isa::{Instr, Opcode, Reg};
+use ftgm_lanai::CpuBackend;
+use ftgm_mcp::layout::{self, sendrec};
+use ftgm_mcp::FirmwareImage;
+use ftgm_sim::SimTime;
+use proptest::prelude::*;
+
+/// Everything externally observable about one `run_routine` call.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    outcome: RunOutcome,
+    regs: [u32; 16],
+    isr: u32,
+    hang: Option<HangCause>,
+    effects: Vec<ChipEffect>,
+}
+
+/// Runs one routine and captures the observable machine state.
+fn observe(chip: &mut LanaiChip, entry: u32, budget: u64) -> Observed {
+    let outcome = chip.run_routine(SimTime::ZERO, entry, budget);
+    Observed {
+        outcome,
+        regs: std::array::from_fn(|i| chip.cpu.reg(Reg::new(i as u8))),
+        isr: chip.isr(),
+        hang: chip.hang_cause(),
+        effects: chip.take_effects(),
+    }
+}
+
+/// Asserts two chips are in bit-identical state: SRAM byte-for-byte.
+fn assert_sram_identical(dec: &LanaiChip, refr: &LanaiChip, what: &str) {
+    let len = dec.sram.len();
+    assert_eq!(len, refr.sram.len());
+    assert!(
+        dec.sram.read_bytes(0, len) == refr.sram.read_bytes(0, len),
+        "{what}: SRAM diverged between decoded and reference backends"
+    );
+}
+
+// ---- random instruction soup -------------------------------------------
+
+/// One generated instruction: `sel` picks the opcode (or, rarely, a raw
+/// word so unassigned encodings are covered too), the rest fill fields.
+type SoupOp = (u16, u8, u8, u8, i32, u32);
+
+fn encode_soup(ops: &[SoupOp]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(ops.len() * 4);
+    for &(sel, rd, rs1, rs2, imm, raw) in ops {
+        let word = if sel % 32 == 31 {
+            // Raw soup: exercises unassigned opcodes and wild fields.
+            raw
+        } else {
+            let op = Opcode::ALL[usize::from(sel) % Opcode::ALL.len()];
+            Instr::new(
+                op,
+                Reg::new(rd % 16),
+                Reg::new(rs1 % 16),
+                Reg::new(rs2 % 16),
+                imm,
+            )
+            .encode()
+        };
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    bytes
+}
+
+/// Builds a small chip with `image` at address 0 and plausible register
+/// seeds (`r9` points at writable memory, so generated stores land both
+/// in data *and* back into the code they are executing — the decode
+/// cache must notice either way).
+fn soup_chip(image: &[u8], r1: u32, r2: u32) -> LanaiChip {
+    let mut chip = LanaiChip::new(64 * 1024);
+    chip.sram.write_bytes(0, image);
+    chip.cpu.set_reg(Reg::new(1), r1);
+    chip.cpu.set_reg(Reg::new(2), r2);
+    chip.cpu.set_reg(Reg::new(9), 0x1000);
+    chip.cpu.set_reg(Reg::LINK, RETURN_ADDR);
+    chip
+}
+
+fn soup_strategy() -> impl Strategy<Value = Vec<SoupOp>> {
+    proptest::collection::vec(
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+            -8192i32..8192,
+            any::<u32>(),
+        ),
+        1..96,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any instruction soup — valid ops with arbitrary fields plus raw
+    /// words — produces identical outcomes, registers, cycle charges,
+    /// SRAM images, and chip effects on both backends. Stores included,
+    /// so self-modifying soup exercises the invalidation contract under
+    /// random fire.
+    #[test]
+    fn decoded_matches_reference_on_instruction_soup(
+        ops in soup_strategy(),
+        r1 in any::<u32>(),
+        r2 in any::<u32>(),
+    ) {
+        let image = encode_soup(&ops);
+        let mut dec = soup_chip(&image, r1, r2);
+        dec.backend = CpuBackend::Decoded;
+        let mut refr = soup_chip(&image, r1, r2);
+        refr.backend = CpuBackend::Reference;
+        let a = observe(&mut dec, 0, 2_000);
+        let b = observe(&mut refr, 0, 2_000);
+        prop_assert_eq!(&a, &b, "soup run diverged");
+        assert_sram_identical(&dec, &refr, "soup");
+    }
+
+    /// Re-running a routine on an already-warmed decode cache changes
+    /// nothing: two consecutive runs from identical entry state behave
+    /// identically on both backends (run 2 reuses cached pages on the
+    /// decoded side unless the soup stored into them).
+    #[test]
+    fn warm_decode_cache_is_invisible(
+        ops in soup_strategy(),
+        r1 in any::<u32>(),
+    ) {
+        let image = encode_soup(&ops);
+        let mut dec = soup_chip(&image, r1, 7);
+        dec.backend = CpuBackend::Decoded;
+        let mut refr = soup_chip(&image, r1, 7);
+        refr.backend = CpuBackend::Reference;
+        for round in 0..2 {
+            let a = observe(&mut dec, 0, 1_500);
+            let b = observe(&mut refr, 0, 1_500);
+            prop_assert_eq!(&a, &b, "round {} diverged", round);
+            assert_sram_identical(&dec, &refr, "warm-cache round");
+        }
+    }
+}
+
+// ---- every send_chunk path ---------------------------------------------
+
+/// A fully-described `send_chunk` invocation.
+#[derive(Clone, Debug)]
+struct SendCase {
+    resend: bool,
+    payload: Vec<u8>,
+    seq: u32,
+    stream: u32,
+    msg_len: u32,
+    chunk_off: u32,
+    /// Non-zero arms the completion-record host DMA.
+    status_host: u32,
+}
+
+fn fw_chip(fw: &FirmwareImage, backend: CpuBackend) -> LanaiChip {
+    let mut chip = LanaiChip::new(layout::SRAM_LEN);
+    chip.sram.write_bytes(layout::CODE_BASE, fw.bytes());
+    chip.backend = backend;
+    chip
+}
+
+/// Stages one send and runs it, returning the observation plus the
+/// completion status word.
+fn run_send(chip: &mut LanaiChip, fw: &FirmwareImage, case: &SendCase) -> (Observed, u32) {
+    let stage = FirmwareImage::slab_addr(0);
+    chip.sram.write_bytes(stage, &case.payload);
+    let r = layout::SENDREC;
+    chip.sram.write_u32(r + sendrec::STAGE_ADDR, stage).unwrap();
+    chip.sram.write_u32(r + sendrec::LEN, case.payload.len() as u32).unwrap();
+    chip.sram.write_u32(r + sendrec::SEQ, case.seq).unwrap();
+    chip.sram.write_u32(r + sendrec::STREAM, case.stream).unwrap();
+    chip.sram.write_u32(r + sendrec::MSG_LEN, case.msg_len).unwrap();
+    chip.sram.write_u32(r + sendrec::CHUNK_OFF, case.chunk_off).unwrap();
+    chip.sram.write_u32(r + sendrec::HDR_BUF, layout::PKT_BUF).unwrap();
+    chip.sram.write_u32(r + sendrec::STATUS, 0).unwrap();
+    chip.sram.write_u32(r + sendrec::STATUS_HOST, case.status_host).unwrap();
+    chip.cpu.set_reg(Reg::LINK, RETURN_ADDR);
+    let entry = if case.resend { fw.entry_resend() } else { fw.entry_send() };
+    let obs = observe(chip, entry, 20_000);
+    let status = chip.sram.read_u32(r + sendrec::STATUS).unwrap();
+    (obs, status)
+}
+
+/// The path matrix: send and resend entries × inline (≤ 64 B), the
+/// inline/gather boundary, the gather/DMA path, the 4 KB maximum, and
+/// both parameter-error exits — with and without the completion DMA.
+fn path_matrix() -> Vec<SendCase> {
+    let mut cases = Vec::new();
+    for resend in [false, true] {
+        for (i, len) in [1usize, 48, 64, 65, 300, 4096, 0, 4097].iter().enumerate() {
+            for status_host in [0u32, 0x4000] {
+                let payload: Vec<u8> = (0..*len).map(|b| (b as u8) ^ (i as u8)).collect();
+                cases.push(SendCase {
+                    resend,
+                    payload,
+                    seq: i as u32 + 3,
+                    stream: 0x0123_4000 + i as u32,
+                    msg_len: 8192,
+                    chunk_off: (i as u32) * 4096,
+                    status_host,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Every `send_chunk` path produces bit-identical observations on both
+/// backends — on fresh chips *and* sequentially on one long-lived chip
+/// pair whose decode cache stays warm across invocations.
+#[test]
+fn send_chunk_paths_are_backend_identical() {
+    let fw = FirmwareImage::build();
+    // Fresh chips per case: cold decode cache each time.
+    for case in path_matrix() {
+        let mut dec = fw_chip(&fw, CpuBackend::Decoded);
+        let mut refr = fw_chip(&fw, CpuBackend::Reference);
+        let (a, sa) = run_send(&mut dec, &fw, &case);
+        let (b, sb) = run_send(&mut refr, &fw, &case);
+        assert_eq!(a, b, "cold-cache divergence on {case:?}");
+        assert_eq!(sa, sb);
+        assert_sram_identical(&dec, &refr, "cold-cache send");
+        // Successful non-inline sends must actually emit a frame; the
+        // error paths must not. (Guards against both backends agreeing
+        // on doing nothing.)
+        let frames = a.effects.iter().filter(|e| matches!(e, ChipEffect::TxFrame(_))).count();
+        let len = case.payload.len();
+        if len == 0 || len > 4096 {
+            assert_eq!(sa, 0xFFFF_FFFF, "error path must report -1");
+            assert_eq!(frames, 0);
+        } else {
+            assert_eq!(sa, 1, "ok path must report success");
+            assert_eq!(frames, 1, "exactly one frame per send");
+        }
+    }
+    // One warm pair across the whole matrix: the decode cache built by
+    // case N is reused by case N+1.
+    let mut dec = fw_chip(&fw, CpuBackend::Decoded);
+    let mut refr = fw_chip(&fw, CpuBackend::Reference);
+    for case in path_matrix() {
+        // Error paths leave the chips healthy, so the sequence continues;
+        // completion DMAs must be drained like the world would.
+        let (a, sa) = run_send(&mut dec, &fw, &case);
+        let (b, sb) = run_send(&mut refr, &fw, &case);
+        assert_eq!(a, b, "warm-cache divergence on {case:?}");
+        assert_eq!(sa, sb);
+        assert_sram_identical(&dec, &refr, "warm-cache send");
+        if dec.hdma_busy() {
+            dec.host_dma_complete();
+            refr.host_dma_complete();
+        }
+        assert!(!dec.is_hung(), "matrix case unexpectedly hung: {case:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized send records — arbitrary payload bytes and lengths
+    /// spanning the inline/gather boundary, random header fields, both
+    /// entries — always behave identically on both backends.
+    #[test]
+    fn send_chunk_random_records_are_backend_identical(
+        payload in proptest::collection::vec(any::<u8>(), 0..700),
+        resend in any::<bool>(),
+        seq in any::<u32>(),
+        stream in any::<u32>(),
+        msg_len in any::<u32>(),
+        chunk_off in any::<u32>(),
+        report in any::<bool>(),
+    ) {
+        let fw = FirmwareImage::build();
+        let case = SendCase {
+            resend,
+            payload,
+            seq,
+            stream,
+            msg_len,
+            chunk_off,
+            status_host: if report { 0x4000 } else { 0 },
+        };
+        let mut dec = fw_chip(&fw, CpuBackend::Decoded);
+        let mut refr = fw_chip(&fw, CpuBackend::Reference);
+        let (a, sa) = run_send(&mut dec, &fw, &case);
+        let (b, sb) = run_send(&mut refr, &fw, &case);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa, sb);
+        assert_sram_identical(&dec, &refr, "random send");
+    }
+
+    /// The invalidation contract under fire: warm both decode caches
+    /// with a healthy send, flip the *same* bit somewhere in the
+    /// `send_chunk` code range, and send again. Whatever unfolds —
+    /// clean completion, parameter error, trap, runaway loop, wedged
+    /// engine, corrupted frame — must be bit-identical across backends.
+    /// A decoded backend serving stale predecoded ops would diverge
+    /// here immediately.
+    #[test]
+    fn bit_flip_in_warmed_code_pages_is_backend_identical(
+        bit in any::<u64>(),
+        len in 1usize..300,
+    ) {
+        let fw = FirmwareImage::build();
+        let code_bits = u64::from(fw.code_range().end - fw.code_range().start) * 8;
+        let flip = u64::from(fw.code_range().start) * 8 + bit % code_bits;
+        let warm = SendCase {
+            resend: false,
+            payload: vec![0x5A; 80],
+            seq: 1,
+            stream: 0x0100_0000,
+            msg_len: 80,
+            chunk_off: 0,
+            status_host: 0,
+        };
+        let hot = SendCase { payload: (0..len).map(|b| b as u8).collect(), seq: 2, ..warm.clone() };
+        let mut dec = fw_chip(&fw, CpuBackend::Decoded);
+        let mut refr = fw_chip(&fw, CpuBackend::Reference);
+        // Warm pass: both caches now hold the healthy code pages.
+        let (a, _) = run_send(&mut dec, &fw, &warm);
+        let (b, _) = run_send(&mut refr, &fw, &warm);
+        prop_assert_eq!(a, b, "warm pass diverged");
+        // Inject the identical flip and rerun.
+        dec.sram.flip_bit(flip);
+        refr.sram.flip_bit(flip);
+        let (a, sa) = run_send(&mut dec, &fw, &hot);
+        let (b, sb) = run_send(&mut refr, &fw, &hot);
+        prop_assert_eq!(a, b, "post-flip behaviour diverged (flip bit {})", flip);
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(dec.hang_cause(), refr.hang_cause());
+        assert_sram_identical(&dec, &refr, "post-flip send");
+    }
+}
+
+// ---- campaign-level differential ---------------------------------------
+
+/// Whole chaos campaigns re-run on the reference interpreter: the
+/// bit-flip scenarios from the standard set must produce byte-identical
+/// verdicts and observability exports on both backends. This is the
+/// end-to-end closure of the contract — every interpreted instruction
+/// of every node's firmware, across injection, detection, and recovery,
+/// lock-stepped at scenario granularity.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-gated: full chaos scenarios are slow unoptimized (ci.sh runs this with --release)"
+)]
+fn chaos_bitflip_campaigns_are_backend_identical() {
+    use ftgm_faults::chaos::{run_scenario_artifacts, standard_scenarios, ChaosScenario};
+    let flips: Vec<ChaosScenario> = standard_scenarios()
+        .into_iter()
+        .filter(|s| s.name.contains("flip"))
+        .collect();
+    assert!(flips.len() >= 2, "standard set lost its bit-flip scenarios");
+    for mut scenario in flips {
+        assert_eq!(scenario.cpu_backend, CpuBackend::Decoded, "default is decoded");
+        let dec = run_scenario_artifacts(&scenario, 2003);
+        scenario.cpu_backend = CpuBackend::Reference;
+        let refr = run_scenario_artifacts(&scenario, 2003);
+        let name = &dec.report.scenario;
+        assert_eq!(
+            dec.report.to_json(),
+            refr.report.to_json(),
+            "{name}: verdict/report diverged across interpreter backends"
+        );
+        assert_eq!(dec.trace_jsonl, refr.trace_jsonl, "{name}: trace diverged");
+        assert_eq!(dec.chrome_trace, refr.chrome_trace, "{name}: chrome trace diverged");
+        assert_eq!(dec.metrics_json, refr.metrics_json, "{name}: metrics diverged");
+    }
+}
